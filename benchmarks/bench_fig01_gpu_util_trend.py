@@ -1,0 +1,19 @@
+"""Fig. 1: GPU utilization of PS-trained WDL model generations."""
+
+from conftest import run_once, show
+
+from repro.experiments import fig01_gpu_util
+
+
+def test_fig01_gpu_util_trend(benchmark):
+    rows = run_once(benchmark, fig01_gpu_util.run_gpu_util_trend)
+    reference = fig01_gpu_util.paper_reference()
+    show("Fig. 1 GPU utilization trend", rows, reference)
+    benchmark.extra_info["utilization"] = {
+        row["model"]: row["gpu_util_pct"] for row in rows}
+    low, high = reference["band"]
+    # The paper's point: PS training never gets WDL models anywhere
+    # near the 95%+ a CV/NLP workload reaches.
+    for row in rows:
+        assert row["gpu_util_pct"] <= high, (
+            f"{row['model']} exceeds the underutilization band")

@@ -1,0 +1,26 @@
+"""Fig. 3: skew of categorical-ID distributions across datasets."""
+
+from conftest import run_once, show
+
+from repro.experiments import fig03_distribution
+
+
+def test_fig03_id_distribution(benchmark):
+    rows = run_once(benchmark, fig03_distribution.run_id_distribution)
+    reference = fig03_distribution.paper_reference()
+    show("Fig. 3 ID distribution", rows, reference)
+    benchmark.extra_info["coverage"] = {
+        row["dataset"]: row["top20_coverage_pct"] for row in rows}
+    low, high = reference["mean_band"]
+    for row in rows:
+        assert low <= row["top20_coverage_pct"] <= high, (
+            f"{row['dataset']} coverage outside the paper's band")
+
+
+def test_fig03_coverage_curve_monotone(benchmark):
+    id_frac, data_frac = run_once(
+        benchmark, fig03_distribution.run_coverage_curve)
+    assert len(id_frac) == len(data_frac)
+    # Coverage curves are nondecreasing and end at 100%.
+    assert all(b >= a for a, b in zip(data_frac, data_frac[1:]))
+    assert abs(data_frac[-1] - 1.0) < 1e-9

@@ -1,0 +1,27 @@
+"""Fig. 5: worker-side breakdown of the three production models."""
+
+from conftest import run_once, show
+
+from repro.experiments import fig05_breakdown
+
+
+def test_fig05_breakdown(benchmark):
+    rows = run_once(benchmark, fig05_breakdown.run_breakdown)
+    show("Fig. 5 worker-side breakdown", rows,
+         fig05_breakdown.paper_reference())
+    by_key = {(row["model"], row["strategy"], row["category"]): row
+              for row in rows}
+    benchmark.extra_info["rows"] = len(rows)
+
+    # CAN is the communication-intensive workload: under the
+    # collective (MP) strategy its communication share leads, and under
+    # PS its communication stays substantial.
+    can_mp = by_key[("CAN", "MP", "communication")]["active_pct"]
+    wd_mp = by_key[("W&D", "MP", "communication")]["active_pct"]
+    assert can_mp >= wd_mp * 0.8
+    assert by_key[("CAN", "PS", "communication")]["active_pct"] >= 10.0
+
+    # MMoE is the computation-intensive workload.
+    mmoe_compute = by_key[("MMoE", "MP", "compute")]["active_pct"]
+    wd_compute = by_key[("W&D", "MP", "compute")]["active_pct"]
+    assert mmoe_compute > wd_compute

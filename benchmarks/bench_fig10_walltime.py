@@ -1,0 +1,28 @@
+"""Fig. 10: training walltime of the four benchmark models."""
+
+from conftest import run_once, show
+
+from repro.experiments import fig10_walltime
+
+
+def test_fig10_walltime(benchmark):
+    rows = run_once(benchmark, fig10_walltime.run_walltime)
+    show("Fig. 10 walltime (GPU core hours)", rows,
+         fig10_walltime.paper_reference())
+    speedups = fig10_walltime.speedups(rows)
+    show("Fig. 10 speedups", speedups)
+    benchmark.extra_info["speedups"] = {
+        row["model"]: row["vs_tf_ps"] for row in speedups}
+
+    by_key = {(row["model"], row["framework"]): row["ips"]
+              for row in rows}
+    for model in ("DLRM", "DeepFM", "DIN", "DIEN"):
+        ips = {fw: by_key[(model, fw)]
+               for fw in ("TF-PS", "PyTorch", "Horovod", "PICASSO")}
+        # TF-PS slowest, PICASSO fastest (Fig. 10's ordering).
+        assert min(ips, key=ips.get) == "TF-PS"
+        assert max(ips, key=ips.get) == "PICASSO"
+    for row in speedups:
+        # "accelerates the training by at least 1.9x, and up to 10x".
+        assert row["vs_best_baseline"] >= 1.5, row
+        assert row["vs_tf_ps"] >= 1.5, row

@@ -1,0 +1,22 @@
+"""Fig. 11: SM-utilization CDF while training DLRM."""
+
+from conftest import run_once, show
+
+from repro.experiments import fig11_sm_cdf
+
+
+def test_fig11_sm_util_cdf(benchmark):
+    results = run_once(benchmark, fig11_sm_cdf.run_sm_cdf)
+    rows = fig11_sm_cdf.summary_rows(results)
+    show("Fig. 11 SM-utilization CDF", rows,
+         fig11_sm_cdf.paper_reference())
+    benchmark.extra_info["median_util"] = {
+        row["framework"]: row["median_util_pct"] for row in rows}
+
+    stats = {row["framework"]: row for row in rows}
+    # PICASSO has the least low-utilization mass of the four systems.
+    picasso_low = stats["PICASSO"]["time_below_20pct_util"]
+    for baseline in ("TF-PS", "PyTorch", "Horovod"):
+        assert picasso_low <= stats[baseline]["time_below_20pct_util"]
+    # And TF-PS shows the most stalls.
+    assert stats["TF-PS"]["time_below_20pct_util"] >= picasso_low

@@ -1,0 +1,23 @@
+"""Fig. 12: PCIe and NVLink bandwidth consumption (DLRM)."""
+
+from conftest import run_once, show
+
+from repro.experiments import fig12_bandwidth
+
+
+def test_fig12_bandwidth(benchmark):
+    rows = run_once(benchmark, fig12_bandwidth.run_bandwidth)
+    show("Fig. 12 bandwidth", rows, fig12_bandwidth.paper_reference())
+    stats = {row["framework"]: row for row in rows}
+    benchmark.extra_info["pcie_mean"] = {
+        name: row["pcie_mean_gbps"] for name, row in stats.items()}
+
+    # TF-PS never touches NVLink (PS mode bypasses peer links).
+    assert stats["TF-PS"]["nvlink_mean_gbps"] == 0.0
+    # The collective frameworks use NVLink.
+    assert stats["PyTorch"]["nvlink_peak_gbps"] > 0.0
+    assert stats["PICASSO"]["nvlink_peak_gbps"] > 0.0
+    # PICASSO sustains at least as much NVLink traffic as the other
+    # collective baselines (interleaved pipelines).
+    assert (stats["PICASSO"]["nvlink_mean_gbps"]
+            >= 0.5 * stats["Horovod"]["nvlink_mean_gbps"])

@@ -1,0 +1,26 @@
+"""Fig. 13: production IPS — PS vs PICASSO(Base) vs PICASSO."""
+
+from conftest import run_once, show
+
+from repro.experiments import fig13_ips
+
+
+def test_fig13_production_ips(benchmark):
+    rows = run_once(benchmark, fig13_ips.run_production_ips)
+    show("Fig. 13 production IPS", rows, fig13_ips.paper_reference())
+    accel = fig13_ips.accelerations(rows)
+    show("Fig. 13 accelerations", accel)
+    benchmark.extra_info["acceleration"] = {
+        row["model"]: row["picasso_vs_ps"] for row in accel}
+
+    by_key = {(row["model"], row["system"]): row["ips"] for row in rows}
+    for model in ("W&D", "CAN", "MMoE"):
+        # Full PICASSO beats both the PS baseline and the bare hybrid
+        # strategy: the gains come from the software optimizations.
+        assert by_key[(model, "PICASSO")] > by_key[(model, "TF-PS")]
+        assert (by_key[(model, "PICASSO")]
+                > by_key[(model, "PICASSO(Base)")])
+    # CAN and MMoE see the larger accelerations (paper: ~4x).
+    gains = {row["model"]: row["picasso_vs_ps"] for row in accel}
+    assert gains["CAN"] >= 1.5
+    assert gains["MMoE"] >= 1.5

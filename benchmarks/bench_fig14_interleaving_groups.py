@@ -1,0 +1,38 @@
+"""Fig. 14: throughput vs interleaving groups and micro-batches."""
+
+from conftest import run_once, show
+
+from repro.experiments import fig14_interleaving
+
+
+def test_fig14_interleave_groups(benchmark):
+    rows = run_once(benchmark, fig14_interleaving.run_interleave_groups)
+    show("Fig. 14 interleaving groups", rows,
+         fig14_interleaving.paper_reference())
+    by_model: dict = {}
+    for row in rows:
+        by_model.setdefault(row["model"], {})[row["interleave_groups"]] \
+            = row["ips"]
+    benchmark.extra_info["series"] = by_model
+    # Communication-heavy models benefit from interleaving groups:
+    # some group count > 1 beats no interleaving.
+    for model in ("W&D", "CAN"):
+        series = by_model[model]
+        assert max(series[count] for count in series if count > 1) \
+            >= series[1] * 0.95, model
+
+
+def test_fig14_micro_batches(benchmark):
+    rows = run_once(benchmark, fig14_interleaving.run_micro_batches)
+    show("Fig. 14 micro-batches", rows)
+    by_model: dict = {}
+    for row in rows:
+        by_model.setdefault(row["model"], {})[row["micro_batches"]] \
+            = row["ips"]
+    benchmark.extra_info["series"] = by_model
+    # Compute-intensive models gain from micro-batching (paper: CAN
+    # and MMoE meet GPU saturation with more micro-batches).
+    for model in ("CAN", "MMoE"):
+        series = by_model[model]
+        best = max(series.values())
+        assert best > series[1], (model, series)

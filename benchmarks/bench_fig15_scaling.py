@@ -1,0 +1,30 @@
+"""Fig. 15: scaling out from 1 to 128 PICASSO-Executors."""
+
+from conftest import run_once, show
+
+from repro.experiments import fig15_scaling
+
+
+def test_fig15_scaling(benchmark):
+    rows = run_once(benchmark, fig15_scaling.run_scaling)
+    show("Fig. 15 scaling out", rows, fig15_scaling.paper_reference())
+    efficiency = fig15_scaling.scaling_efficiency(rows)
+    show("Fig. 15 scaling efficiency", efficiency)
+    eff = {row["model"]: row["efficiency_pct"] for row in efficiency}
+    benchmark.extra_info["efficiency"] = eff
+
+    # Cluster throughput grows monotonically with workers.
+    by_model: dict = {}
+    for row in rows:
+        by_model.setdefault(row["model"], []).append(
+            (row["workers"], row["cluster_ips"]))
+    for model, series in by_model.items():
+        series.sort()
+        values = [ips for _workers, ips in series]
+        assert all(b > a * 1.2 for a, b in zip(values, values[1:])), model
+    # All three models keep healthy scale-out efficiency at 128
+    # workers (the paper reports near-linear CAN/MMoE and sublinear
+    # W&D; in our cost model W&D's PCIe-bound iterations are scale-
+    # invariant, so its curve is flatter - see EXPERIMENTS.md).
+    for model, value in eff.items():
+        assert value >= 60.0, (model, value)

@@ -1,0 +1,110 @@
+"""Extension ablation: HybridHash vs the multi-level cache hierarchy.
+
+Paper SS III-D notes HybridHash "can be extended to a multiple-level
+cache system, including Intel persistent memory and SSD".  This bench
+runs both caches over the same skewed ID stream and verifies the
+extension's value: with a DRAM-sized middle tier, the share of lookups
+that fall through to the slowest storage collapses, and the modeled
+access cost drops accordingly.
+"""
+
+import numpy as np
+from conftest import run_once, show
+
+from repro.data.spec import FieldSpec
+from repro.data.synthetic import FieldSampler
+from repro.embedding import CacheTier, EmbeddingTable, HybridHash
+from repro.embedding.multilevel import MultiLevelCache
+
+
+def _field():
+    return FieldSpec(name="f", vocab_size=300_000, embedding_dim=8,
+                     zipf_exponent=1.2)
+
+
+def test_multilevel_vs_two_level(benchmark):
+    field = _field()
+    row_bytes = field.embedding_dim * 4
+    hot_rows = 2_000
+    warm_rows = 120_000
+
+    def run():
+        # Two-level HybridHash: hot GPU scratchpad over DRAM.
+        sampler = FieldSampler(field, seed=9)
+        two_level = HybridHash(EmbeddingTable(dim=field.embedding_dim),
+                               hot_bytes=hot_rows * row_bytes,
+                               warmup_iters=10, flush_iters=10)
+        for _step in range(60):
+            two_level.lookup(sampler.sample_batch(512))
+
+        # Multi-level: the same hot tier + a warm tier + slow storage.
+        sampler = FieldSampler(field, seed=9)
+        multi = MultiLevelCache(
+            EmbeddingTable(dim=field.embedding_dim),
+            tiers=(
+                CacheTier("hbm", hot_rows * row_bytes, 1.0 / 800e9),
+                CacheTier("dram", warm_rows * row_bytes, 1.0 / 80e9),
+                CacheTier("ssd", float("inf"), 1.0 / 2e9),
+            ),
+            warmup_iters=10, flush_iters=10)
+        for _step in range(60):
+            multi.lookup(sampler.sample_batch(512))
+
+        fractions = multi.hit_fractions()
+        return {
+            "hybridhash_hot_hit_pct": round(
+                two_level.stats.hit_ratio * 100, 1),
+            "multi_hbm_pct": round(fractions["hbm"] * 100, 1),
+            "multi_dram_pct": round(fractions["dram"] * 100, 1),
+            "multi_ssd_pct": round(fractions["ssd"] * 100, 1),
+        }
+
+    result = run_once(benchmark, run)
+    show("extension: multi-level cache", [result])
+    benchmark.extra_info.update(result)
+
+    # Note: HybridHash counts hits per occurrence while the multi-level
+    # cache counts per unique ID, so the hot columns are not directly
+    # comparable; the extension's claim is about the *tail*.
+    assert result["multi_hbm_pct"] > 25.0
+    # The cached tiers together outweigh the slow-storage tail (which,
+    # in a streaming workload, is dominated by never-seen-before IDs
+    # that no cache can hold yet).
+    cached = result["multi_hbm_pct"] + result["multi_dram_pct"]
+    assert cached > result["multi_ssd_pct"]
+    assert result["multi_ssd_pct"] < 50.0
+
+
+def test_access_cost_improves_with_tiers(benchmark):
+    field = _field()
+    row_bytes = field.embedding_dim * 4
+
+    def run():
+        sampler = FieldSampler(field, seed=11)
+        flat = MultiLevelCache(
+            EmbeddingTable(dim=field.embedding_dim),
+            tiers=(CacheTier("ssd", float("inf"), 1.0 / 2e9),),
+            warmup_iters=5, flush_iters=5)
+        tiered = MultiLevelCache(
+            EmbeddingTable(dim=field.embedding_dim),
+            tiers=(
+                CacheTier("hbm", 2_000 * row_bytes, 1.0 / 800e9),
+                CacheTier("dram", 120_000 * row_bytes, 1.0 / 80e9),
+                CacheTier("ssd", float("inf"), 1.0 / 2e9),
+            ),
+            warmup_iters=5, flush_iters=5)
+        probe = None
+        for _step in range(30):
+            probe = sampler.sample_batch(512)
+            flat.lookup(probe)
+            tiered.lookup(probe)
+        return {
+            "flat_cost_us": round(
+                flat.expected_access_cost(probe) * 1e6, 2),
+            "tiered_cost_us": round(
+                tiered.expected_access_cost(probe) * 1e6, 2),
+        }
+
+    result = run_once(benchmark, run)
+    show("extension: tiered access cost", [result])
+    assert result["tiered_cost_us"] < result["flat_cost_us"]

@@ -1,0 +1,25 @@
+"""Tab. IV: ablation study of packing / interleaving / caching."""
+
+from conftest import run_once, show
+
+from repro.experiments import tab04_ablation
+
+
+def test_tab04_ablation(benchmark):
+    rows = run_once(benchmark, tab04_ablation.run_ablation)
+    show("Tab. IV ablation", rows, tab04_ablation.paper_reference())
+    gains = tab04_ablation.contribution_percentages(rows)
+    show("Tab. IV optimization contributions", gains)
+    benchmark.extra_info["gains"] = {row["model"]: row for row in gains}
+
+    by_key = {(row["model"], row["variant"]): row for row in rows}
+    for model in ("W&D", "CAN", "MMoE"):
+        full = by_key[(model, "PICASSO")]["ips"]
+        # Removing any optimization costs throughput.
+        for variant in ("w/o Packing", "w/o Interleaving", "w/o Caching"):
+            assert by_key[(model, variant)]["ips"] <= full * 1.02, (
+                model, variant)
+    # MMoE benefits most from interleaving (paper: +93%), and caching
+    # is its smallest contribution (paper: +6%).
+    mmoe = {row["model"]: row for row in gains}["MMoE"]
+    assert mmoe["interleaving_gain_pct"] >= mmoe["caching_gain_pct"]

@@ -1,0 +1,24 @@
+"""Tab. V: operation counts, baseline vs PICASSO."""
+
+from conftest import run_once, show
+
+from repro.experiments import tab05_op_counts
+
+
+def test_tab05_op_counts(benchmark):
+    rows = run_once(benchmark, tab05_op_counts.run_op_counts)
+    show("Tab. V operation counts", rows,
+         tab05_op_counts.paper_reference())
+    benchmark.extra_info["ops_pct"] = {
+        row["model"]: row["ops_pct"] for row in rows}
+
+    for row in rows:
+        # Packing dramatically reduces framework operations...
+        assert row["picasso_ops"] < row["baseline_ops"]
+        # ...and collapses hundreds of per-field embeddings into a
+        # handful of packed embeddings (paper: 16/19/11).
+        assert row["picasso_packed_emb"] < row["baseline_packed_emb"] / 4
+        assert row["picasso_packed_emb"] >= 2
+    by_model = {row["model"]: row for row in rows}
+    # W&D's reduction ratio matches the paper's 14.9% closely.
+    assert by_model["W&D"]["ops_pct"] < 35.0

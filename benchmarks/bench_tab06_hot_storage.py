@@ -1,0 +1,34 @@
+"""Tab. VI: hit ratio and IPS by Hot-storage size."""
+
+from conftest import run_once, show
+
+from repro.experiments import tab06_hot_storage
+
+
+def test_tab06_hot_storage(benchmark):
+    rows = run_once(benchmark, tab06_hot_storage.run_hot_storage_sweep)
+    show("Tab. VI hot-storage sweep", rows,
+         tab06_hot_storage.paper_reference())
+    by_model: dict = {}
+    for row in rows:
+        by_model.setdefault(row["model"], {})[row["hot_storage"]] = row
+    benchmark.extra_info["hit_ratios"] = {
+        model: {size: row["hit_ratio_pct"]
+                for size, row in series.items()}
+        for model, series in by_model.items()}
+
+    order = ["256MB", "512MB", "1GB", "2GB", "4GB"]
+    for model, series in by_model.items():
+        hits = [series[size]["hit_ratio_pct"] for size in order]
+        # Hit ratio grows with cache size (1.5pp sampling tolerance)...
+        assert all(b >= a - 1.5 for a, b in zip(hits, hits[1:])), \
+            (model, hits)
+        # ...with a marginal effect: the 2GB->4GB gain is smaller than
+        # the 256MB->512MB gain.
+        assert hits[4] - hits[3] <= hits[1] - hits[0] + 1.0, (model, hits)
+        # An oversized cache squeezes the batch, so 4GB throughput
+        # stays close to the 1GB default instead of scaling with its
+        # hit ratio (the paper measures -3..+2%; our laptop-scale
+        # vocabularies keep a little more headroom - see
+        # EXPERIMENTS.md).
+        assert series["4GB"]["ips"] <= series["1GB"]["ips"] * 1.20

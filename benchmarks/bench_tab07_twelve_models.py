@@ -1,0 +1,23 @@
+"""Tab. VII: twelve AUC-prediction models, XDL vs PICASSO."""
+
+from conftest import run_once, show
+
+from repro.experiments import tab07_twelve_models
+
+
+def test_tab07_twelve_models(benchmark):
+    rows = run_once(benchmark, tab07_twelve_models.run_twelve_models)
+    show("Tab. VII twelve models", rows,
+         tab07_twelve_models.paper_reference())
+    benchmark.extra_info["ips_gain"] = {
+        row["model"]: row["ips_gain_pct"] for row in rows}
+
+    improved_ips = [row for row in rows if row["ips_gain_pct"] > 0]
+    improved_sm = [row for row in rows if row["sm_gain_pct"] > 0]
+    # PICASSO improves throughput and utilization across the zoo.
+    assert len(improved_ips) >= 10, [r["model"] for r in rows
+                                     if r["ips_gain_pct"] <= 0]
+    assert len(improved_sm) >= 10
+    # Every model sustains a larger batch via D-Interleaving.
+    for row in rows:
+        assert row["picasso_batch"] > row["xdl_batch"]

@@ -1,0 +1,23 @@
+"""Tab. VIII: IPS while multiplying the number of feature fields."""
+
+from conftest import run_once, show
+
+from repro.experiments import tab08_feature_fields
+
+
+def test_tab08_feature_fields(benchmark):
+    rows = run_once(benchmark,
+                    tab08_feature_fields.run_feature_field_sweep)
+    show("Tab. VIII feature-field sweep", rows,
+         tab08_feature_fields.paper_reference())
+    benchmark.extra_info["picasso_vs_ap"] = {
+        row["fields_multiple"]: row["picasso_vs_ap_pct"] for row in rows}
+
+    widest = rows[-1]
+    # At the widest point, PICASSO tracks (or beats) the arithmetic-
+    # progression prediction while the PS baseline falls below it.
+    assert widest["picasso_vs_ap_pct"] >= widest["xdl_vs_ap_pct"], widest
+    assert widest["xdl_vs_ap_pct"] <= 2.0, widest
+    # Throughput decreases with field multiples for both systems.
+    picasso = [row["picasso_ips"] for row in rows]
+    assert all(b < a for a, b in zip(picasso, picasso[1:]))

@@ -1,0 +1,24 @@
+"""Tab. IX: production deployment summary, XDL vs PICASSO."""
+
+from conftest import run_once, show
+
+from repro.experiments import tab09_production
+
+
+def test_tab09_production(benchmark):
+    rows = run_once(benchmark, tab09_production.run_production_summary)
+    show("Tab. IX production summary", rows,
+         tab09_production.paper_reference())
+    stats = {row["system"]: row for row in rows}
+    benchmark.extra_info["walltime_h"] = {
+        name: row["avg_task_walltime_h"] for name, row in stats.items()}
+
+    # PICASSO shortens the average daily task substantially (paper:
+    # 8.6h -> 1.4h, ~6x)...
+    speedup = (stats["XDL"]["avg_task_walltime_h"]
+               / stats["PICASSO"]["avg_task_walltime_h"])
+    assert speedup >= 1.5, speedup
+    # ...while raising utilization and bandwidth.
+    assert stats["PICASSO"]["sm_util_pct"] > stats["XDL"]["sm_util_pct"]
+    assert (stats["PICASSO"]["bandwidth_gbps"]
+            > stats["XDL"]["bandwidth_gbps"])

@@ -1,0 +1,22 @@
+"""Tab. X: walltime to train a year of data, by model scale."""
+
+from conftest import run_once, show
+
+from repro.experiments import tab10_model_scale
+
+
+def test_tab10_model_scale(benchmark):
+    rows = run_once(benchmark, tab10_model_scale.run_model_scale)
+    show("Tab. X model-scale walltime", rows,
+         tab10_model_scale.paper_reference())
+    benchmark.extra_info["speedup"] = {
+        row["scale"]: row["speedup"] for row in rows}
+
+    # PICASSO wins at every scale tier.
+    for row in rows:
+        assert row["picasso_gpu_hours"] < row["xdl_gpu_hours"], row
+    # Walltime grows with model scale for both systems.
+    xdl = [row["xdl_gpu_hours"] for row in rows]
+    picasso = [row["picasso_gpu_hours"] for row in rows]
+    assert xdl == sorted(xdl)
+    assert picasso == sorted(picasso)

@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark runs its experiment once (simulations are
+deterministic), records headline numbers in ``extra_info``, prints a
+paper-vs-measured table, and asserts the paper's qualitative shape so
+the suite doubles as a regression harness for the reproduction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import format_table
+
+
+def run_once(benchmark, func):
+    """Execute ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1,
+                              warmup_rounds=0)
+
+
+def show(title: str, rows: list, reference=None) -> None:
+    """Print measured rows (and the paper's reference) to the log."""
+    print(f"\n== {title} (measured) ==")
+    if rows:
+        print(format_table(rows, list(rows[0].keys())))
+    if reference:
+        print(f"-- paper reference --")
+        if isinstance(reference, list) and reference \
+                and isinstance(reference[0], dict):
+            print(format_table(reference, list(reference[0].keys())))
+        else:
+            print(reference)

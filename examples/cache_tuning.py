@@ -1,0 +1,59 @@
+"""Tune HybridHash: watch Algorithm 1 run and size Hot-storage (Tab. VI).
+
+Part 1 runs the real ``HybridHash`` (warm-up, frequency counting,
+periodic hot-set flush) over a skewed ID stream and reports the
+achieved hit ratio.  Part 2 sweeps the Hot-storage budget on the W&D
+production workload and shows the marginal-returns effect.
+
+Run:  python examples/cache_tuning.py
+"""
+
+import numpy as np
+
+from repro.core.caching import batch_size_penalty, expected_hit_ratio
+from repro.data import product1
+from repro.data.spec import FieldSpec
+from repro.data.synthetic import FieldSampler
+from repro.embedding import EmbeddingTable, HybridHash
+
+
+def demo_hybrid_hash() -> None:
+    """Algorithm 1 end to end on one skewed field."""
+    field = FieldSpec(name="demo", vocab_size=200_000, embedding_dim=8,
+                      zipf_exponent=1.2)
+    sampler = FieldSampler(field, seed=1)
+    table = EmbeddingTable(dim=field.embedding_dim, seed=1)
+    cache = HybridHash(table, hot_bytes=4_000 * field.embedding_dim * 4,
+                       warmup_iters=20, flush_iters=10)
+
+    print("running HybridHash over a Zipf-skewed ID stream...")
+    for _step in range(120):
+        ids = sampler.sample_batch(512)
+        cache.lookup(ids)
+    print(f"  hot rows: {cache.hot_capacity_rows:,}  "
+          f"distinct IDs seen: {cache.counter.distinct_ids():,}")
+    print(f"  post-warm-up hit ratio: {cache.stats.hit_ratio:.1%} "
+          f"({cache.stats.flushes} hot-set flushes)\n")
+
+
+def sweep_hot_storage() -> None:
+    """Tab. VI-style sizing on the W&D production dataset."""
+    gib = float(1 << 30)
+    dataset = product1()
+    batch = 20_000
+    device_budget = 16 * gib
+    print(f"Hot-storage sweep on {dataset.name} (batch {batch:,}):")
+    print(f"{'size':>7s} {'hit ratio':>10s} {'usable batch':>13s}")
+    for label, size in [("256MB", 0.25 * gib), ("512MB", 0.5 * gib),
+                        ("1GB", gib), ("2GB", 2 * gib), ("4GB", 4 * gib)]:
+        plan = expected_hit_ratio(dataset, size, batch)
+        penalty = batch_size_penalty(size, device_budget)
+        print(f"{label:>7s} {plan.hit_ratio:>10.1%} "
+              f"{int(batch * penalty):>13,}")
+    print("\nnote the marginal hit-ratio gains past 2GB while the "
+          "usable batch keeps shrinking - the paper settles on 1GB.")
+
+
+if __name__ == "__main__":
+    demo_hybrid_hash()
+    sweep_hot_storage()

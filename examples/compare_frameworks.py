@@ -1,0 +1,50 @@
+"""Compare PICASSO against TF-PS / PyTorch / Horovod on DLRM (Fig. 10).
+
+Reproduces the paper's public-benchmark comparison on one Gn6e node
+(8x V100): same model, same dataset, four training systems, batch sizes
+tuned per framework as in Tab. III.
+
+Run:  python examples/compare_frameworks.py
+"""
+
+from repro.baselines import framework_by_name
+from repro.core import PicassoExecutor
+from repro.data import criteo
+from repro.hardware import gn6e_cluster
+from repro.models import dlrm
+
+BATCHES = {"TF-PS": 6_000, "PyTorch": 7_000, "Horovod": 10_000,
+           "PICASSO": 42_000}
+
+
+def main() -> None:
+    model = dlrm(criteo())
+    cluster = gn6e_cluster(num_nodes=1)
+    print(f"DLRM on Criteo ({model.dataset.total_parameters:.3g} "
+          f"embedding parameters), one 8-GPU node\n")
+    print(f"{'system':10s} {'batch':>7s} {'IPS':>10s} "
+          f"{'ms/iter':>8s} {'SM util':>8s}")
+
+    results = {}
+    for name in ("TF-PS", "PyTorch", "Horovod"):
+        report = framework_by_name(name).run(model, cluster,
+                                             BATCHES[name], iterations=3)
+        results[name] = report
+    results["PICASSO"] = PicassoExecutor(model, cluster).run(
+        BATCHES["PICASSO"], iterations=3)
+
+    for name, report in results.items():
+        print(f"{name:10s} {BATCHES[name]:>7,} {report.ips:>10,.0f} "
+              f"{report.seconds_per_iteration * 1000:>8.1f} "
+              f"{report.sm_utilization:>8.0%}")
+
+    best_baseline = max(results[name].ips
+                        for name in ("PyTorch", "Horovod"))
+    print(f"\nPICASSO speedup: "
+          f"{results['PICASSO'].ips / results['TF-PS'].ips:.1f}x over "
+          f"TF-PS, {results['PICASSO'].ips / best_baseline:.1f}x over "
+          f"the best collective baseline")
+
+
+if __name__ == "__main__":
+    main()

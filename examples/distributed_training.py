@@ -1,0 +1,75 @@
+"""Distributed training semantics: sync equivalence and PS staleness.
+
+Demonstrates the two facts Tab. III rests on, with real numpy training:
+
+1. Synchronous data parallelism over W workers is mathematically the
+   same optimization as single-worker training on the combined batch.
+2. Asynchronous PS training applies stale gradients; accuracy degrades
+   gracefully with the in-flight window.
+
+Run:  python examples/distributed_training.py
+"""
+
+import numpy as np
+
+from repro.data.labeled import LabeledBatchIterator
+from repro.data.spec import DatasetSpec, FieldSpec
+from repro.distributed import (
+    DataParallelTrainer,
+    ParameterServer,
+    PsWorkerTrainer,
+)
+from repro.nn.network import WdlNetwork
+from repro.nn.optim import Adagrad
+from repro.training import evaluate
+
+
+def _dataset():
+    return DatasetSpec(name="demo", num_numeric=2, fields=(
+        FieldSpec(name="a", vocab_size=5000, embedding_dim=8,
+                  zipf_exponent=1.1),
+        FieldSpec(name="b", vocab_size=5000, embedding_dim=8,
+                  zipf_exponent=1.1),
+    ))
+
+
+def sync_equivalence() -> None:
+    dataset = _dataset()
+    batch = LabeledBatchIterator(dataset, 64, seed=0).next_batch()
+
+    single = WdlNetwork(dataset, variant="wdl", seed=0)
+    single.train_step(batch, Adagrad(lr=0.05))
+
+    replica = WdlNetwork(dataset, variant="wdl", seed=0)
+    DataParallelTrainer(replica, workers=4,
+                        optimizer=Adagrad(lr=0.05)).train_step(batch)
+
+    diffs = [np.abs(value - dict(replica.parameters())[name][0]).max()
+             for name, (value, _grad) in single.parameters().items()]
+    print("sync DP vs single-worker: max dense-parameter diff "
+          f"= {max(diffs):.2e} (identical up to float error)")
+
+
+def staleness_sweep() -> None:
+    dataset = _dataset()
+    print("\nasync PS accuracy vs in-flight window (60 steps):")
+    print(f"{'inflight':>9s} {'AUC':>8s} {'max staleness':>14s}")
+    for inflight in (0, 2, 6):
+        server = ParameterServer(
+            WdlNetwork(dataset, variant="wdl", seed=0), Adagrad(lr=0.05))
+        worker = PsWorkerTrainer(server, inflight=inflight)
+        iterator = LabeledBatchIterator(dataset, 512, noise_scale=0.4,
+                                        seed=0)
+        for batch in iterator.batches(60):
+            worker.train_step(batch)
+        worker.drain()
+        eval_iter = LabeledBatchIterator(dataset, 512, noise_scale=0.4,
+                                         seed=77)
+        auc, _ll = evaluate(server.network, eval_iter, batches=8)
+        staleness = max(worker.observed_staleness, default=0)
+        print(f"{inflight:>9d} {auc:>8.4f} {staleness:>14d}")
+
+
+if __name__ == "__main__":
+    sync_equivalence()
+    staleness_sweep()

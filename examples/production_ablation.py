@@ -1,0 +1,46 @@
+"""Ablate PICASSO's optimizations on a production workload (Tab. IV).
+
+Runs CAN (the communication-intensive Product-2 workload) with each of
+packing / interleaving / caching disabled in turn and prints the
+contribution of each optimization.
+
+Run:  python examples/production_ablation.py
+"""
+
+from repro.core import PicassoConfig, PicassoExecutor
+from repro.data import product2
+from repro.hardware import eflops_cluster
+from repro.models import can
+
+
+def main() -> None:
+    model = can(product2())
+    cluster = eflops_cluster(num_nodes=16)
+    batch = 12_000
+    print(f"CAN on Product-2: {model.dataset.num_fields} fields, "
+          f"{model.num_modules} interaction module instances\n")
+
+    variants = {
+        "PICASSO": PicassoConfig(),
+        "w/o packing": PicassoConfig().without("packing"),
+        "w/o interleaving": PicassoConfig().without("interleaving"),
+        "w/o caching": PicassoConfig().without("caching"),
+        "PICASSO(Base)": PicassoConfig.base(),
+    }
+    reports = {}
+    for name, config in variants.items():
+        executor = PicassoExecutor(model, cluster, config)
+        reports[name] = executor.run(batch, iterations=3)
+
+    full = reports["PICASSO"].ips
+    print(f"{'variant':18s} {'IPS':>9s} {'SM util':>8s} "
+          f"{'PCIe GB/s':>10s} {'net Gbps':>9s} {'vs full':>8s}")
+    for name, report in reports.items():
+        print(f"{name:18s} {report.ips:>9,.0f} "
+              f"{report.sm_utilization:>8.0%} "
+              f"{report.pcie_gbps:>10.2f} {report.net_gbps:>9.2f} "
+              f"{report.ips / full - 1:>+8.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables editable installs where the ``wheel``
+package is unavailable (``pip install -e . --no-use-pep517``)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""Baseline training frameworks the paper compares against.
+
+Each baseline is an :class:`ExecutionPlan` recipe over the shared cost
+model: the frameworks differ in distribution strategy, launch-path
+efficiency, prefetching, and PS congestion — not in physics — exactly
+as in the paper's single-cluster comparison.
+
+* ``TF-PS``: TensorFlow 1.15 asynchronous parameter server (Fig. 10's
+  slowest baseline; no NVLink in this mode).
+* ``PyTorch``: Facebook's hybrid strategy — embeddings model-parallel
+  with AllToAll over NCCL, dense data-parallel.
+* ``Horovod``: PyTorch DDP-style data parallelism with Allreduce.
+* ``XDL``: Alibaba's in-house optimized synchronous PS (baseline of
+  Tab. VII/VIII and the production tables).
+"""
+
+from repro.baselines.frameworks import (
+    Framework,
+    FrameworkProfile,
+    HOROVOD,
+    PYTORCH,
+    TF_PS,
+    XDL,
+    framework_by_name,
+)
+
+__all__ = [
+    "Framework",
+    "FrameworkProfile",
+    "HOROVOD",
+    "PYTORCH",
+    "TF_PS",
+    "XDL",
+    "framework_by_name",
+]

@@ -1,0 +1,128 @@
+"""Executable models of the compared training frameworks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.executor import RunReport, simulate_plan
+from repro.graph.builder import (
+    CostModel,
+    ExecutionPlan,
+    WorkloadStats,
+    groups_per_field,
+)
+from repro.hardware.topology import ClusterSpec
+from repro.models.base import ModelSpec
+
+
+@dataclass(frozen=True)
+class FrameworkProfile:
+    """How a framework maps a WDL workload onto the cluster.
+
+    :param strategy: distribution strategy (see
+        :class:`~repro.graph.builder.ExecutionPlan`).
+    :param launch_scale: relative cost of the framework's op-dispatch
+        path (TF 1.x graph executors with feature columns are the
+        slowest; eager NCCL-based stacks dispatch leaner graphs).
+    :param ps_bandwidth_factor: usable NIC fraction when talking to
+        parameter servers (server-side congestion); 1.0 for collective
+        strategies.
+    :param io_overlap: whether the input pipeline prefetches.
+    :param uses_nvlink: TF-PS routes everything through PS over
+        PCIe/Ethernet, so NVLink stays dark (Fig. 12).
+    """
+
+    name: str
+    strategy: str
+    launch_scale: float
+    ps_bandwidth_factor: float = 1.0
+    ps_serving_rate: float = float("inf")
+    net_stack_rate: float = float("inf")
+    io_overlap: bool = True
+    uses_nvlink: bool = True
+
+
+#: TensorFlow 1.15 with asynchronous PS (one CPU PS, GPU workers).
+TF_PS = FrameworkProfile(
+    name="TF-PS", strategy="ps-async", launch_scale=1.35,
+    ps_bandwidth_factor=0.50, ps_serving_rate=250e6,
+    net_stack_rate=0.8e9,
+    io_overlap=False, uses_nvlink=False)
+
+#: PyTorch 1.8 hybrid: MP embeddings via AllToAll (NCCL), DP dense.
+PYTORCH = FrameworkProfile(
+    name="PyTorch", strategy="mp", launch_scale=0.50,
+    net_stack_rate=3.0e9)
+
+#: Horovod on PyTorch DDP: replicated tables, Allreduce gradients.
+HOROVOD = FrameworkProfile(
+    name="Horovod", strategy="dp", launch_scale=0.50,
+    net_stack_rate=3.0e9)
+
+#: Alibaba's in-house optimized XDL, synchronous PS mode.
+XDL = FrameworkProfile(
+    name="XDL", strategy="ps-sync", launch_scale=0.90,
+    ps_bandwidth_factor=0.70, ps_serving_rate=600e6,
+    net_stack_rate=1.5e9)
+
+_PROFILES = {profile.name: profile
+             for profile in (TF_PS, PYTORCH, HOROVOD, XDL)}
+
+
+def framework_by_name(name: str) -> "Framework":
+    """Instantiate a baseline by its paper name."""
+    if name not in _PROFILES:
+        raise KeyError(f"unknown framework {name!r}; "
+                       f"expected one of {sorted(_PROFILES)}")
+    return Framework(_PROFILES[name])
+
+
+class Framework:
+    """A baseline training framework: plans and simulates workloads."""
+
+    def __init__(self, profile: FrameworkProfile,
+                 stats: WorkloadStats | None = None,
+                 cost: CostModel | None = None):
+        self.profile = profile
+        self.stats = stats or WorkloadStats()
+        self.cost = cost or CostModel()
+
+    @property
+    def name(self) -> str:
+        """The framework's display name."""
+        return self.profile.name
+
+    def plan(self, model: ModelSpec, cluster: ClusterSpec,
+             batch_size: int) -> ExecutionPlan:
+        """Build the framework's (unoptimized) execution plan."""
+        profile = self.profile
+        if not profile.uses_nvlink and cluster.node.nvlink is not None:
+            # PS mode routes through host memory; NVLink is unused.
+            from dataclasses import replace
+            cluster = replace(cluster,
+                              node=replace(cluster.node, nvlink=None))
+        return ExecutionPlan(
+            model=model,
+            cluster=cluster,
+            batch_size=batch_size,
+            strategy=profile.strategy,
+            groups=groups_per_field(model.dataset),
+            fuse_kernels=False,
+            interleave_sets=1,
+            fine_grained_deps=False,
+            micro_batches=1,
+            cache_hit_ratio=None,
+            io_overlap=profile.io_overlap,
+            ps_bandwidth_factor=profile.ps_bandwidth_factor,
+            ps_serving_rate=profile.ps_serving_rate,
+            net_stack_rate=profile.net_stack_rate,
+            launch_scale=profile.launch_scale,
+            cost=self.cost,
+        )
+
+    def run(self, model: ModelSpec, cluster: ClusterSpec, batch_size: int,
+            iterations: int = 3) -> RunReport:
+        """Simulate a training run under this framework."""
+        plan = self.plan(model, cluster, batch_size)
+        return simulate_plan(plan, iterations=iterations,
+                             name=f"{self.name}/{model.name}")

@@ -1,0 +1,208 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands:
+
+* ``list`` — models, datasets, frameworks, experiments.
+* ``simulate`` — run one workload under a framework and print metrics.
+* ``ablation`` — the Tab. IV toggles for one model.
+* ``train`` — real numpy training with AUC (Tab. III path).
+* ``experiment`` — run one table/figure harness by id.
+* ``gantt`` — ASCII utilization timeline of a simulated run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.baselines import framework_by_name
+from repro.core import PicassoConfig, PicassoExecutor
+from repro.data import ALL_DATASETS
+from repro.experiments import runner as experiment_runner
+from repro.experiments.common import format_table, mini_criteo
+from repro.hardware import eflops_cluster, gn6e_cluster
+from repro.models import MODEL_BUILDERS
+from repro.sim.export import ascii_gantt
+from repro.training import train_and_evaluate
+
+_FRAMEWORKS = ("PICASSO", "PICASSO(Base)", "TF-PS", "PyTorch", "Horovod",
+               "XDL")
+
+
+def _cluster(spec: str):
+    """Parse ``eflops:16`` / ``gn6e:1`` cluster specs."""
+    name, _, count = spec.partition(":")
+    nodes = int(count) if count else 1
+    if name == "eflops":
+        return eflops_cluster(nodes)
+    if name == "gn6e":
+        return gn6e_cluster(nodes)
+    raise argparse.ArgumentTypeError(
+        f"unknown cluster {name!r}; expected eflops|gn6e")
+
+
+def _build_model(model_name: str, dataset_name: str, scale: float):
+    if model_name not in MODEL_BUILDERS:
+        raise SystemExit(f"unknown model {model_name!r}; see `list`")
+    if dataset_name not in ALL_DATASETS:
+        raise SystemExit(f"unknown dataset {dataset_name!r}; see `list`")
+    dataset = ALL_DATASETS[dataset_name](scale)
+    return MODEL_BUILDERS[model_name](dataset)
+
+
+def _run(framework: str, model, cluster, batch: int, iterations: int,
+         config: PicassoConfig | None = None):
+    if framework == "PICASSO":
+        return PicassoExecutor(model, cluster, config).run(
+            batch, iterations=iterations)
+    if framework == "PICASSO(Base)":
+        return PicassoExecutor(model, cluster, PicassoConfig.base()).run(
+            batch, iterations=iterations)
+    return framework_by_name(framework).run(model, cluster, batch,
+                                            iterations=iterations)
+
+
+def _report_rows(report) -> list:
+    return [{
+        "ips": f"{report.ips:,.0f}",
+        "ms/iter": f"{report.seconds_per_iteration * 1000:.1f}",
+        "sm_util": f"{report.sm_utilization:.0%}",
+        "pcie_GBps": f"{report.pcie_gbps:.2f}",
+        "net_Gbps": f"{report.net_gbps:.2f}",
+        "ops": report.op_count,
+        "micro_ops": f"{report.micro_ops:,}",
+    }]
+
+
+def cmd_list(_args) -> int:
+    print("models:     " + ", ".join(sorted(MODEL_BUILDERS)))
+    print("datasets:   " + ", ".join(ALL_DATASETS))
+    print("frameworks: " + ", ".join(_FRAMEWORKS))
+    print("experiments:")
+    for title, _fn in experiment_runner.EXPERIMENTS:
+        print(f"  - {title}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    model = _build_model(args.model, args.dataset, args.scale)
+    report = _run(args.framework, model, args.cluster, args.batch,
+                  args.iterations)
+    print(f"{args.framework} / {model.name} on {args.dataset} "
+          f"({args.cluster.name} x{args.cluster.num_nodes})")
+    print(format_table(_report_rows(report), list(_report_rows(report)[0])))
+    return 0
+
+
+def cmd_ablation(args) -> int:
+    model = _build_model(args.model, args.dataset, args.scale)
+    rows = []
+    variants = {
+        "PICASSO": PicassoConfig(),
+        "w/o packing": PicassoConfig().without("packing"),
+        "w/o interleaving": PicassoConfig().without("interleaving"),
+        "w/o caching": PicassoConfig().without("caching"),
+    }
+    for name, config in variants.items():
+        report = _run("PICASSO", model, args.cluster, args.batch,
+                      args.iterations, config)
+        rows.append({"variant": name, "ips": f"{report.ips:,.0f}",
+                     "sm_util": f"{report.sm_utilization:.0%}"})
+    print(format_table(rows, ["variant", "ips", "sm_util"]))
+    return 0
+
+
+def cmd_train(args) -> int:
+    dataset = mini_criteo()
+    result = train_and_evaluate(dataset, args.variant, mode=args.mode,
+                                steps=args.steps,
+                                batch_size=args.batch,
+                                noise_scale=args.noise)
+    print(f"{args.variant} ({args.mode}): AUC={result.auc:.4f} "
+          f"logloss={result.logloss:.4f} "
+          f"loss {result.losses[0]:.4f} -> {result.final_loss:.4f}")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    for title, fn in experiment_runner.EXPERIMENTS:
+        if args.name.lower() in title.lower():
+            rows = fn()
+            if rows and isinstance(rows, list):
+                print(format_table(rows, list(rows[0].keys())))
+            else:
+                print(rows)
+            return 0
+    raise SystemExit(f"no experiment matches {args.name!r}; see `list`")
+
+
+def cmd_gantt(args) -> int:
+    model = _build_model(args.model, args.dataset, args.scale)
+    report = _run(args.framework, model, args.cluster, args.batch,
+                  args.iterations)
+    print(ascii_gantt(report.result, width=args.width))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="PICASSO reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list models/datasets/experiments") \
+        .set_defaults(func=cmd_list)
+
+    def add_sim_args(p):
+        p.add_argument("--model", default="W&D")
+        p.add_argument("--dataset", default="Product-1")
+        p.add_argument("--scale", type=float, default=1.0)
+        p.add_argument("--cluster", type=_cluster,
+                       default=eflops_cluster(16),
+                       help="eflops:N or gn6e:N")
+        p.add_argument("--batch", type=int, default=20_000)
+        p.add_argument("--iterations", type=int, default=3)
+
+    sim = sub.add_parser("simulate", help="simulate one workload")
+    add_sim_args(sim)
+    sim.add_argument("--framework", default="PICASSO",
+                     choices=_FRAMEWORKS)
+    sim.set_defaults(func=cmd_simulate)
+
+    ablation = sub.add_parser("ablation", help="Tab. IV toggles")
+    add_sim_args(ablation)
+    ablation.set_defaults(func=cmd_ablation)
+
+    train = sub.add_parser("train", help="real training with AUC")
+    train.add_argument("--variant", default="dlrm",
+                       choices=["wdl", "dlrm", "deepfm", "din", "dien"])
+    train.add_argument("--mode", default="sync",
+                       choices=["sync", "async-ps"])
+    train.add_argument("--steps", type=int, default=100)
+    train.add_argument("--batch", type=int, default=1024)
+    train.add_argument("--noise", type=float, default=0.6)
+    train.set_defaults(func=cmd_train)
+
+    experiment = sub.add_parser("experiment",
+                                help="run one table/figure harness")
+    experiment.add_argument("name", help="substring of the experiment id")
+    experiment.set_defaults(func=cmd_experiment)
+
+    gantt = sub.add_parser("gantt", help="ASCII utilization timeline")
+    add_sim_args(gantt)
+    gantt.add_argument("--framework", default="PICASSO",
+                       choices=_FRAMEWORKS)
+    gantt.add_argument("--width", type=int, default=72)
+    gantt.set_defaults(func=cmd_gantt)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""PICASSO configuration: the knobs of the three optimizations.
+
+Disabling individual optimizations reproduces the ablation study
+(Tab. IV); ``PicassoConfig.base()`` reproduces "PICASSO(Base)" — the
+pure hybrid-parallel strategy without software-system optimization
+(Fig. 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.graph.builder import CostModel
+
+_GIB = float(1 << 30)
+
+
+@dataclass(frozen=True)
+class PicassoConfig:
+    """Feature toggles and tunables for a PICASSO training session.
+
+    :param enable_packing: D-Packing (merge per-field embedding ops by
+        dimension, Eq. 1 sharding) + K-Packing (same-group kernel
+        fusion).
+    :param enable_interleaving: K-Interleaving (Eq. 3 group pipelines)
+        + D-Interleaving (Eq. 2 micro-batching).
+    :param enable_caching: ``HybridHash`` hot/cold embedding cache.
+    :param interleave_sets: explicit K-Interleaving set count, or
+        ``None`` to size by Eq. 3.
+    :param micro_batches: explicit D-Interleaving slice count, or
+        ``None`` to size by Eq. 2.
+    :param micro_batch_scope: ``"all"`` (slice from the embedding
+        layer) or ``"mlp"`` (slice only the dense tail).
+    :param hot_storage_bytes: Hot-storage (GPU) budget for HybridHash;
+        the paper's default production setting is 1 GB.
+    :param warmup_iters: statistics-collection iterations before the
+        cache (and Eq. 1/2 estimates) activate.
+    :param flush_iters: hot-set refresh period.
+    :param excluded_fields: preset-excluded embeddings whose packed ops
+        skip K-Interleaving ordering (SS III-C).
+    :param device_memory_budget: GPU bytes available for activations
+        when Eq. 2 sizes micro-batches (device memory minus parameters,
+        workspace and the hot cache).
+    """
+
+    enable_packing: bool = True
+    enable_interleaving: bool = True
+    enable_caching: bool = True
+    interleave_sets: int | None = None
+    micro_batches: int | None = None
+    micro_batch_scope: str = "all"
+    hot_storage_bytes: float = 1.0 * _GIB
+    warmup_iters: int = 100
+    flush_iters: int = 100
+    excluded_fields: tuple = ()
+    device_memory_budget: float = 16.0 * _GIB
+    cost: CostModel = field(default_factory=CostModel)
+
+    @classmethod
+    def base(cls) -> "PicassoConfig":
+        """PICASSO(Base): hybrid strategy, no software optimizations."""
+        return cls(enable_packing=False, enable_interleaving=False,
+                   enable_caching=False)
+
+    def without(self, optimization: str) -> "PicassoConfig":
+        """Ablation helper: a copy with one optimization disabled.
+
+        ``optimization`` is ``"packing"``, ``"interleaving"`` or
+        ``"caching"``.
+        """
+        toggles = {
+            "packing": "enable_packing",
+            "interleaving": "enable_interleaving",
+            "caching": "enable_caching",
+        }
+        if optimization not in toggles:
+            raise ValueError(
+                f"unknown optimization {optimization!r}; expected one of "
+                f"{sorted(toggles)}")
+        return replace(self, **{toggles[optimization]: False})

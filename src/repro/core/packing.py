@@ -1,0 +1,122 @@
+"""D-Packing: merge per-field embedding operations by dimension.
+
+Categorical feature IDs whose embedding tables share a feature
+dimension are combined into one packed ID tensor, so one packed
+operation replaces hundreds of per-field fragmentary operations
+(paper SS III-B, Fig. 7).  Packs whose estimated parameter volume —
+``CalcVParam``, Eq. 1 — exceeds the average are split evenly into
+shards to avoid hashmap contention.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+
+from repro.data.spec import DatasetSpec, FieldSpec
+from repro.graph.builder import EmbeddingGroup, WorkloadStats
+
+
+def calc_vparam(fields: list, batch_size: int,
+                stats: WorkloadStats | None = None) -> float:
+    """Eq. 1: expected parameter volume a packed operation processes.
+
+    ``CalcVParam(T) = N * sum_t (t_dim * sum_ID ID_freq)``: with
+    ``ID_freq`` the empirical per-ID frequency collected in warm-up,
+    the inner sum is each table's share of the batch's IDs, so the
+    estimate reduces to the expected floats touched per batch:
+    ``sum_t dim_t * ids_t`` (deduplicated when stats are available).
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    volume = 0.0
+    for spec in fields:
+        ids = batch_size * spec.seq_length
+        if stats is not None:
+            ids *= stats.unique_fraction(spec, ids)
+        volume += spec.embedding_dim * ids
+    return volume
+
+
+def pack_by_dimension(dataset: DatasetSpec, batch_size: int,
+                      stats: WorkloadStats | None = None,
+                      excluded_fields: tuple = ()) -> list:
+    """Build packed :class:`EmbeddingGroup` units for a dataset.
+
+    1. Fields sharing an embedding dimension pack together (hashmaps
+       with one dimension can be merged).
+    2. Packs with ``CalcVParam`` above the cross-pack average split
+       evenly into ``ceil(vparam / average)`` shards (Eq. 1 rule).
+    3. ``excluded_fields`` become their own preset-excluded groups that
+       K-Interleaving will not order against the others.
+    """
+    stats = stats or WorkloadStats()
+    excluded = set(excluded_fields)
+    by_dim: dict = defaultdict(list)
+    excluded_specs = []
+    for spec in dataset.fields:
+        if spec.name in excluded:
+            excluded_specs.append(spec)
+        else:
+            by_dim[spec.embedding_dim].append(spec)
+
+    packs = {dim: tuple(specs) for dim, specs in by_dim.items()}
+    volumes = {dim: calc_vparam(list(specs), batch_size, stats)
+               for dim, specs in packs.items()}
+    average = (sum(volumes.values()) / len(volumes)) if volumes else 0.0
+    # Shard target: packs above half the mean volume split so each
+    # shard's concurrent-query pressure stays below the hashmap's
+    # comfortable envelope (Eq. 1 rule; the paper's production models
+    # land at 11-19 packed embeddings).
+    target = average / 2.0
+
+    groups = []
+    for dim in sorted(packs):
+        specs = packs[dim]
+        volume = volumes[dim]
+        shards = 1
+        if target > 0 and volume > target:
+            shards = max(1, math.ceil(volume / target))
+        groups.extend(_split_pack(dim, specs, shards))
+    for spec in excluded_specs:
+        groups.append(EmbeddingGroup(name=f"excluded:{spec.name}",
+                                     fields=(spec,), excluded=True))
+    return groups
+
+
+def _split_pack(dim: int, specs: tuple, shards: int) -> list:
+    """Evenly split one dimension-pack into ``shards`` groups.
+
+    Fields are dealt greedily (heaviest first) onto the lightest shard;
+    a pack with fewer fields than shards splits single fields by
+    ``shard_fraction`` instead.
+    """
+    if shards <= 1:
+        return [EmbeddingGroup(name=f"dim{dim}", fields=specs)]
+    if len(specs) >= shards:
+        buckets = [[] for _shard in range(shards)]
+        weights = [0.0] * shards
+        ordered = sorted(specs,
+                         key=lambda spec: spec.seq_length * spec.embedding_dim,
+                         reverse=True)
+        for spec in ordered:
+            index = weights.index(min(weights))
+            buckets[index].append(spec)
+            weights[index] += spec.seq_length * spec.embedding_dim
+        return [
+            EmbeddingGroup(name=f"dim{dim}.{index}", fields=tuple(bucket))
+            for index, bucket in enumerate(buckets) if bucket
+        ]
+    # Fewer fields than shards: split the pack's work fractionally.
+    fraction = 1.0 / shards
+    return [
+        EmbeddingGroup(name=f"dim{dim}.{index}", fields=specs,
+                       shard_fraction=fraction)
+        for index in range(shards)
+    ]
+
+
+def packed_embedding_count(dataset: DatasetSpec, batch_size: int,
+                           stats: WorkloadStats | None = None) -> int:
+    """Number of packed embeddings D-Packing produces (Tab. V metric)."""
+    return len(pack_by_dimension(dataset, batch_size, stats))

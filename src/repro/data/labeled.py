@@ -1,0 +1,108 @@
+"""Labeled synthetic CTR data with a learnable logistic ground truth.
+
+Tab. III trains DLRM/DeepFM on Criteo and DIN/DIEN on Alibaba and
+reports AUC parity between PICASSO and synchronous baselines (with
+async TF-PS slightly behind).  We cannot ship the original logs, so we
+generate clicks from a hidden logistic model over latent per-ID
+effects: a model that learns good embeddings recovers the latent
+structure, and its attainable AUC is controlled by ``noise_scale``.
+
+Latent effects are produced by hashing the (field, ID) pair into a
+deterministic pseudo-random Gaussian, so the generator needs O(1)
+memory regardless of vocabulary size and labels are reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.loader import Batch, BatchIterator
+from repro.data.spec import DatasetSpec
+
+_HASH_MIX = np.uint64(0x9E3779B97F4A7C15)
+
+
+def _hash_to_unit(values: np.ndarray, salt: int) -> np.ndarray:
+    """Map int64 IDs to deterministic pseudo-uniform floats in [0, 1)."""
+    mixed = values.astype(np.uint64)
+    mixed = (mixed + np.uint64(salt)) * _HASH_MIX
+    mixed ^= mixed >> np.uint64(29)
+    mixed *= np.uint64(0xBF58476D1CE4E5B9)
+    mixed ^= mixed >> np.uint64(32)
+    return (mixed >> np.uint64(11)).astype(np.float64) / float(1 << 53)
+
+
+def latent_effect(ids: np.ndarray, salt: int) -> np.ndarray:
+    """Deterministic standard-normal-ish latent effect per ID.
+
+    Uses the inverse of a logistic approximation to the normal CDF,
+    which is smooth enough for a ground-truth signal.
+    """
+    uniforms = np.clip(_hash_to_unit(ids, salt), 1e-9, 1 - 1e-9)
+    return np.log(uniforms / (1.0 - uniforms)) * 0.55
+
+
+class LabeledBatchIterator:
+    """Batches with clicks sampled from a hidden logistic model.
+
+    :param signal_fields: number of leading sparse fields that carry
+        signal (the rest are noise fields, as in real logs where many
+        features are weak).
+    :param noise_scale: standard deviation of label noise; larger noise
+        lowers the attainable AUC (Alibaba-style datasets are noisier
+        than Criteo, hence their lower paper AUCs ~0.63).
+    :param signal_scale: multiplier on the latent logits; controls the
+        oracle AUC ceiling (2.2 yields a Criteo-like ~0.82 oracle).
+    """
+
+    def __init__(self, dataset: DatasetSpec, batch_size: int,
+                 signal_fields: int | None = None, noise_scale: float = 1.0,
+                 signal_scale: float = 1.0, seed: int = 0):
+        self._inner = BatchIterator(dataset, batch_size, seed=seed)
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.noise_scale = float(noise_scale)
+        self.signal_scale = float(signal_scale)
+        count = signal_fields if signal_fields is not None else len(
+            dataset.fields)
+        self._signal_fields = [spec.name for spec in
+                               dataset.fields[:count]]
+        self._field_salt = {
+            spec.name: index + 1 for index, spec in enumerate(dataset.fields)
+        }
+        self._rng = np.random.default_rng(seed + 12345)
+
+    def __iter__(self):
+        return self
+
+    def __next__(self) -> Batch:
+        return self.next_batch()
+
+    def next_batch(self) -> Batch:
+        """Next batch with labels attached."""
+        batch = self._inner.next_batch()
+        logits = np.zeros(batch.batch_size)
+        for name in self._signal_fields:
+            ids = batch.sparse[name]
+            spec = self.dataset.field(name)
+            effects = latent_effect(ids, self._field_salt[name])
+            if spec.seq_length > 1:
+                effects = effects.reshape(
+                    batch.batch_size, spec.seq_length).mean(axis=1)
+            logits += effects / max(1.0, np.sqrt(len(self._signal_fields)))
+        if self.dataset.num_numeric:
+            weights = latent_effect(
+                np.arange(self.dataset.num_numeric), salt=999)
+            logits += batch.numeric.astype(np.float64) @ weights * 0.2
+        logits *= self.signal_scale
+        logits += self._rng.standard_normal(batch.batch_size) \
+            * self.noise_scale
+        probabilities = 1.0 / (1.0 + np.exp(-logits))
+        batch.labels = (self._rng.random(batch.batch_size)
+                        < probabilities).astype(np.float32)
+        return batch
+
+    def batches(self, count: int):
+        """Yield ``count`` labeled batches."""
+        for _index in range(count):
+            yield self.next_batch()

@@ -1,0 +1,91 @@
+"""Batch construction and wire-size accounting.
+
+The data transmission layer streams batches of categorical IDs and
+dense vectors from remote storage (paper SS II-A); the simulator charges
+the batch's wire size against the network resource, and the real
+(numpy) trainer consumes the same :class:`Batch` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.spec import DatasetSpec
+from repro.data.synthetic import FieldSampler
+
+_ID_BYTES = 8  # int64 categorical IDs
+_NUMERIC_BYTES = 4  # fp32 dense features
+
+
+@dataclass
+class Batch:
+    """One training batch.
+
+    :param sparse: mapping of field name -> int64 ID array of shape
+        ``(batch_size * seq_length,)``; sequence fields are flattened
+        row-major with fixed length, matching the padded layout the
+        paper's data layer ships.
+    :param numeric: fp32 dense features, ``(batch_size, num_numeric)``.
+    :param labels: optional binary click labels, ``(batch_size,)``.
+    """
+
+    batch_size: int
+    sparse: dict
+    numeric: np.ndarray
+    labels: np.ndarray | None = None
+
+    @property
+    def total_ids(self) -> int:
+        """Total categorical IDs across fields in this batch."""
+        return sum(ids.size for ids in self.sparse.values())
+
+
+def batch_wire_bytes(dataset: DatasetSpec, batch_size: int) -> float:
+    """Bytes to ship one batch across the wire (IDs + dense + labels)."""
+    id_bytes = dataset.ids_per_instance * batch_size * _ID_BYTES
+    numeric_bytes = dataset.num_numeric * batch_size * _NUMERIC_BYTES
+    label_bytes = batch_size * _NUMERIC_BYTES
+    return float(id_bytes + numeric_bytes + label_bytes)
+
+
+class BatchIterator:
+    """Generates an endless stream of batches for a dataset spec.
+
+    The iterator is deterministic given ``seed``; every field keeps its
+    own Zipf sampler so hot IDs differ across fields.
+    """
+
+    def __init__(self, dataset: DatasetSpec, batch_size: int, seed: int = 0):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self._samplers = {
+            spec.name: FieldSampler(spec, seed=seed)
+            for spec in dataset.fields
+        }
+        self._rng = np.random.default_rng(seed)
+
+    def __iter__(self):
+        return self
+
+    def __next__(self) -> Batch:
+        return self.next_batch()
+
+    def next_batch(self) -> Batch:
+        """Produce the next batch (never raises ``StopIteration``)."""
+        sparse = {
+            name: sampler.sample_batch(self.batch_size)
+            for name, sampler in self._samplers.items()
+        }
+        numeric = self._rng.standard_normal(
+            (self.batch_size, self.dataset.num_numeric)).astype(np.float32)
+        return Batch(batch_size=self.batch_size, sparse=sparse,
+                     numeric=numeric)
+
+    def batches(self, count: int):
+        """Yield ``count`` batches (generator, constant memory)."""
+        for _index in range(count):
+            yield self.next_batch()

@@ -1,0 +1,63 @@
+"""Distributed training substrate.
+
+Two halves:
+
+* :mod:`repro.distributed.collectives` — functional numpy collectives
+  (Allreduce, AllToAllv) plus analytic time models for ring/pairwise
+  algorithms on the cluster links.
+* :mod:`repro.distributed.strategies` — executable multi-worker
+  training: synchronous data-parallel workers coordinated by Allreduce
+  (the DP/Horovod and PICASSO dense path) and a real parameter server
+  with configurable staleness (the TF-PS path).
+
+These run real numpy training at laptop scale and underpin the
+correctness claims behind Tab. III: synchronous multi-worker training
+is equivalent to single-worker training on the combined batch, while
+async PS updates drift with staleness.
+"""
+
+from repro.distributed.collectives import (
+    allreduce_mean,
+    alltoallv,
+    alltoallv_time,
+    ring_allreduce_time,
+)
+from repro.distributed.topology import (
+    NicAssignment,
+    effective_worker_bandwidth,
+    plan_nic_assignments,
+    stagger_offsets,
+)
+from repro.distributed.compression import (
+    ErrorFeedbackCompressor,
+    QuantizedTensor,
+    compressed_allreduce_mean,
+    compression_ratio,
+    dequantize,
+    quantize,
+)
+from repro.distributed.strategies import (
+    DataParallelTrainer,
+    ParameterServer,
+    PsWorkerTrainer,
+)
+
+__all__ = [
+    "allreduce_mean",
+    "alltoallv",
+    "alltoallv_time",
+    "ring_allreduce_time",
+    "DataParallelTrainer",
+    "ParameterServer",
+    "PsWorkerTrainer",
+    "NicAssignment",
+    "effective_worker_bandwidth",
+    "plan_nic_assignments",
+    "stagger_offsets",
+    "ErrorFeedbackCompressor",
+    "QuantizedTensor",
+    "compressed_allreduce_mean",
+    "compression_ratio",
+    "dequantize",
+    "quantize",
+]

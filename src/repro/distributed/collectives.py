@@ -1,0 +1,96 @@
+"""Collective communication: functional semantics + time models.
+
+The functional collectives operate on real numpy arrays (used by the
+multi-worker trainers); the time models give the per-worker seconds a
+collective costs on a given link, which is what the simulator's cost
+model encodes through :mod:`repro.graph.builder`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware.specs import LinkSpec
+
+
+# -- functional collectives ---------------------------------------------------
+
+def allreduce_mean(arrays: list) -> np.ndarray:
+    """Allreduce with mean: every worker receives the same average.
+
+    :param arrays: one array per worker, identical shapes.
+    """
+    if not arrays:
+        raise ValueError("allreduce needs at least one participant")
+    shapes = {array.shape for array in arrays}
+    if len(shapes) != 1:
+        raise ValueError(f"shape mismatch across workers: {shapes}")
+    return np.mean(np.stack(arrays, axis=0), axis=0)
+
+
+def alltoallv(chunks: list) -> list:
+    """AllToAllv: worker ``i`` sends ``chunks[i][j]`` to worker ``j``.
+
+    :param chunks: ``chunks[i][j]`` is the array worker ``i`` addresses
+        to worker ``j``; the matrix must be square.
+    :returns: ``received`` where ``received[j]`` is the list of arrays
+        worker ``j`` obtained (indexed by sender).
+    """
+    workers = len(chunks)
+    if any(len(row) != workers for row in chunks):
+        raise ValueError("alltoallv requires a square chunk matrix")
+    return [
+        [chunks[sender][receiver] for sender in range(workers)]
+        for receiver in range(workers)
+    ]
+
+
+# -- time models --------------------------------------------------------------
+
+def ring_allreduce_time(payload_bytes: float, workers: int,
+                        link: LinkSpec) -> float:
+    """Per-worker walltime of a ring Allreduce.
+
+    The ring moves ``2 * (W-1)/W * payload`` bytes per worker over
+    ``2*(W-1)`` latency-bound steps.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if payload_bytes < 0:
+        raise ValueError("payload_bytes must be >= 0")
+    if workers == 1:
+        return 0.0
+    volume = 2.0 * payload_bytes * (workers - 1) / workers
+    return volume / link.bandwidth + 2 * (workers - 1) * link.latency
+
+
+def alltoallv_time(payload_bytes: float, workers: int,
+                   link: LinkSpec, skew: float = 1.0) -> float:
+    """Per-worker walltime of an AllToAllv exchange.
+
+    ``payload_bytes`` is the total data a worker contributes; the
+    remote share ``(W-1)/W`` crosses the link.  ``skew >= 1`` inflates
+    the critical path for unbalanced shards (stragglers from skewed
+    categorical data, paper SS II-D).
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if skew < 1.0:
+        raise ValueError("skew must be >= 1.0")
+    if workers == 1:
+        return 0.0
+    remote = payload_bytes * (workers - 1) / workers * skew
+    return remote / link.bandwidth + (workers - 1) * link.latency
+
+
+def ps_pull_time(payload_bytes: float, link: LinkSpec,
+                 serving_rate: float = float("inf")) -> float:
+    """Walltime to pull ``payload_bytes`` from parameter servers.
+
+    The effective rate is the slower of the worker link and the
+    servers' scattered-read serving capacity.
+    """
+    if payload_bytes < 0:
+        raise ValueError("payload_bytes must be >= 0")
+    rate = min(link.bandwidth, serving_rate)
+    return payload_bytes / rate + link.latency

@@ -1,0 +1,138 @@
+"""Quantized gradient communication with error feedback.
+
+Paper SS V lists "quantitative communication" among the orthogonal
+accelerations PICASSO exposes through its flexible interface (citing
+QSGD-style compression), while SS II-A warns that many WDL models are
+precision-sensitive — which is why compression is an opt-in knob, not
+a default.  This module implements:
+
+* :func:`quantize` / :func:`dequantize` — stochastic uniform
+  quantization to ``2**bits`` levels per tensor (QSGD's scheme);
+* :class:`ErrorFeedbackCompressor` — EF-SGD residual correction so the
+  quantization error is re-injected into the next round, keeping the
+  optimization unbiased over time (the step-ahead error-feedback line
+  of work the paper cites).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """A compressed tensor: int levels + the dequantization scale."""
+
+    levels: np.ndarray  # uint8/uint16 level indices
+    scale: float
+    offset: float
+    shape: tuple
+
+    @property
+    def compressed_bytes(self) -> int:
+        """Wire size of the compressed payload."""
+        return self.levels.nbytes + 16  # scale + offset
+
+    @property
+    def original_bytes(self) -> int:
+        """Wire size of the uncompressed fp32 tensor."""
+        return int(np.prod(self.shape)) * 4
+
+
+def quantize(tensor: np.ndarray, bits: int = 8,
+             rng: np.random.Generator | None = None) -> QuantizedTensor:
+    """Stochastic uniform quantization to ``2**bits`` levels.
+
+    Stochastic rounding makes the quantizer unbiased:
+    ``E[dequantize(quantize(x))] == x``.
+    """
+    if not 1 <= bits <= 16:
+        raise ValueError(f"bits must be in [1, 16], got {bits}")
+    array = np.asarray(tensor, dtype=np.float64)
+    lo = float(array.min()) if array.size else 0.0
+    hi = float(array.max()) if array.size else 0.0
+    span = hi - lo
+    num_levels = (1 << bits) - 1
+    if span <= 0:
+        levels = np.zeros(array.shape,
+                          dtype=np.uint16 if bits > 8 else np.uint8)
+        return QuantizedTensor(levels=levels, scale=0.0, offset=lo,
+                               shape=array.shape)
+    normalized = (array - lo) / span * num_levels
+    floor = np.floor(normalized)
+    fraction = normalized - floor
+    rng = rng or np.random.default_rng(0)
+    rounded = floor + (rng.random(array.shape) < fraction)
+    rounded = np.clip(rounded, 0, num_levels)
+    dtype = np.uint16 if bits > 8 else np.uint8
+    return QuantizedTensor(levels=rounded.astype(dtype),
+                           scale=span / num_levels, offset=lo,
+                           shape=array.shape)
+
+
+def dequantize(quantized: QuantizedTensor) -> np.ndarray:
+    """Reconstruct the fp64 tensor from its quantized form."""
+    return (quantized.levels.astype(np.float64) * quantized.scale
+            + quantized.offset)
+
+
+class ErrorFeedbackCompressor:
+    """EF-SGD: carry the quantization residual into the next round.
+
+    ``compress`` returns the quantized (gradient + residual) and
+    remembers what was lost; over many rounds the accumulated error
+    stays bounded, which is what keeps compressed training convergent.
+    """
+
+    def __init__(self, bits: int = 8, seed: int = 0):
+        if not 1 <= bits <= 16:
+            raise ValueError(f"bits must be in [1, 16], got {bits}")
+        self.bits = bits
+        self._rng = np.random.default_rng(seed)
+        self._residuals: dict = {}
+
+    def compress(self, name: str, gradient: np.ndarray) -> QuantizedTensor:
+        """Quantize ``gradient`` plus this tensor's carried residual."""
+        corrected = np.asarray(gradient, dtype=np.float64)
+        residual = self._residuals.get(name)
+        if residual is not None:
+            corrected = corrected + residual
+        quantized = quantize(corrected, bits=self.bits, rng=self._rng)
+        self._residuals[name] = corrected - dequantize(quantized)
+        return quantized
+
+    def residual_norm(self, name: str) -> float:
+        """L2 norm of the carried residual for one tensor."""
+        residual = self._residuals.get(name)
+        if residual is None:
+            return 0.0
+        return float(np.linalg.norm(residual))
+
+    def reset(self) -> None:
+        """Drop all carried residuals."""
+        self._residuals.clear()
+
+
+def compression_ratio(quantized: QuantizedTensor) -> float:
+    """Wire-size reduction factor of one compressed tensor."""
+    if quantized.compressed_bytes == 0:
+        return 1.0
+    return quantized.original_bytes / quantized.compressed_bytes
+
+
+def compressed_allreduce_mean(arrays: list, bits: int = 8,
+                              seed: int = 0) -> np.ndarray:
+    """Allreduce with per-worker quantization (a lossy collective).
+
+    Each worker's contribution is quantized before averaging — the
+    bandwidth-saving trade the paper's precision-sensitive models must
+    opt into deliberately.
+    """
+    if not arrays:
+        raise ValueError("allreduce needs at least one participant")
+    rng = np.random.default_rng(seed)
+    restored = [dequantize(quantize(array, bits=bits, rng=rng))
+                for array in arrays]
+    return np.mean(np.stack(restored, axis=0), axis=0)

@@ -1,0 +1,96 @@
+"""Topology-aware communication planning.
+
+Paper SS V: "We also implement topology-aware communication to avoid IO
+tasks on GPU devices from the same node competing for limited NIC
+resources."  This module plans which NIC each worker's collective
+traffic uses and staggers same-node workers so they do not burst into
+the NIC simultaneously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.topology import ClusterSpec
+
+
+@dataclass(frozen=True)
+class NicAssignment:
+    """One worker's share of the node's NIC resources.
+
+    :param nic_index: which physical NIC the worker drives.
+    :param time_slot: launch stagger slot within the NIC group; workers
+        in distinct slots start their collective phases offset so their
+        bursts interleave instead of colliding.
+    :param bandwidth_share: guaranteed fraction of the NIC.
+    """
+
+    worker_index: int
+    nic_index: int
+    time_slot: int
+    bandwidth_share: float
+
+
+def plan_nic_assignments(cluster: ClusterSpec,
+                         nics_per_node: int = 1) -> list:
+    """Assign every worker on a node to a NIC and a stagger slot.
+
+    Workers spread round-robin across NICs; within one NIC, each worker
+    gets a distinct time slot and an even bandwidth share.  Returns one
+    :class:`NicAssignment` per worker of a single node (all nodes are
+    homogeneous).
+    """
+    if nics_per_node < 1:
+        raise ValueError("nics_per_node must be >= 1")
+    workers = cluster.node.gpus_per_node
+    per_nic = {}
+    assignments = []
+    for worker in range(workers):
+        nic = worker % nics_per_node
+        slot = per_nic.get(nic, 0)
+        per_nic[nic] = slot + 1
+        assignments.append(NicAssignment(
+            worker_index=worker, nic_index=nic, time_slot=slot,
+            bandwidth_share=0.0))
+    # Even shares now that per-NIC populations are known.
+    final = []
+    for assignment in assignments:
+        population = per_nic[assignment.nic_index]
+        final.append(NicAssignment(
+            worker_index=assignment.worker_index,
+            nic_index=assignment.nic_index,
+            time_slot=assignment.time_slot,
+            bandwidth_share=1.0 / population))
+    return final
+
+
+def effective_worker_bandwidth(cluster: ClusterSpec,
+                               nics_per_node: int = 1,
+                               topology_aware: bool = True) -> float:
+    """Per-worker NIC bandwidth (bytes/s) under a given policy.
+
+    Without topology awareness, same-node workers contend for one NIC
+    with a congestion penalty (bursty collisions waste ~25% of the
+    link); with it, each worker holds a clean share of its assigned
+    NIC.
+    """
+    node = cluster.node
+    total = node.network.bandwidth * nics_per_node
+    share = total / max(1, node.gpus_per_node)
+    if topology_aware:
+        return share
+    return share * 0.75
+
+
+def stagger_offsets(assignments: list, burst_seconds: float) -> dict:
+    """Start-time offsets per worker that de-collide NIC bursts.
+
+    Workers in the same NIC's slots start ``burst_seconds`` apart, so a
+    shuffle burst from slot 0 drains before slot 1 begins — the
+    pipelining trick K-Interleaving applies within a worker, applied
+    across co-located workers.
+    """
+    if burst_seconds < 0:
+        raise ValueError("burst_seconds must be >= 0")
+    return {assignment.worker_index: assignment.time_slot * burst_seconds
+            for assignment in assignments}

@@ -1,0 +1,24 @@
+"""Embedding storage: dynamic hash tables, caching, and sharding.
+
+Implements the paper's embedding substrate: hashmap-backed dynamic
+embedding tables (industrial tables grow with new IDs), the
+``HybridHash`` hot/cold cache of Algorithm 1, and the model-parallel
+sharding used by the hybrid strategy.
+"""
+
+from repro.embedding.table import EmbeddingTable
+from repro.embedding.counter import FrequencyCounter
+from repro.embedding.hybrid_hash import CacheStats, HybridHash
+from repro.embedding.sharding import ShardPlacement, shard_for_id
+from repro.embedding.multilevel import CacheTier, MultiLevelCache
+
+__all__ = [
+    "EmbeddingTable",
+    "FrequencyCounter",
+    "CacheStats",
+    "HybridHash",
+    "ShardPlacement",
+    "shard_for_id",
+    "CacheTier",
+    "MultiLevelCache",
+]

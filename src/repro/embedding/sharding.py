@@ -1,0 +1,60 @@
+"""Model-parallel sharding of embedding tables across executors.
+
+The hybrid strategy partitions every embedding table across all
+PICASSO-Executors; the ``Partition`` operator routes each unique ID to
+its owning shard and ``Shuffle`` exchanges the remote ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def shard_for_id(ids: np.ndarray, num_shards: int) -> np.ndarray:
+    """Owning shard of each ID (stable modulo hashing)."""
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    ids = np.asarray(ids, dtype=np.int64).ravel()
+    # Multiplicative mixing avoids pathological striding in ID space.
+    mixed = (ids * np.int64(2654435761)) & np.int64(0x7FFFFFFFFFFFFFFF)
+    return (mixed % num_shards).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class ShardPlacement:
+    """Placement of one worker within the model-parallel layout."""
+
+    worker_index: int
+    num_workers: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.worker_index < self.num_workers:
+            raise ValueError(
+                f"worker_index {self.worker_index} out of range for "
+                f"{self.num_workers} workers")
+
+    def partition(self, ids: np.ndarray) -> tuple:
+        """Split unique IDs into (local_ids, remote_ids_by_worker).
+
+        Mirrors the ``Partition`` operator: local IDs are gathered from
+        this worker's shard; remote IDs are exchanged via AllToAllv.
+        """
+        ids = np.unique(np.asarray(ids, dtype=np.int64).ravel())
+        owners = shard_for_id(ids, self.num_workers)
+        local = ids[owners == self.worker_index]
+        remote = {
+            worker: ids[owners == worker]
+            for worker in range(self.num_workers)
+            if worker != self.worker_index
+        }
+        return local, remote
+
+    def local_fraction(self, ids: np.ndarray) -> float:
+        """Measured share of unique IDs owned locally (~1/num_workers)."""
+        ids = np.unique(np.asarray(ids, dtype=np.int64).ravel())
+        if ids.size == 0:
+            return 0.0
+        owners = shard_for_id(ids, self.num_workers)
+        return float(np.mean(owners == self.worker_index))

@@ -1,0 +1,92 @@
+"""Hashmap-backed dynamic embedding tables.
+
+Industrial recommenders cannot pre-size embedding matrices: new
+categorical IDs appear continuously, so tables are hashmaps from ID to
+embedding vector (paper SS III-B).  This implementation is the
+cold-storage backend ``HybridHash`` wraps, and also the parameter store
+the numpy trainer updates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class EmbeddingTable:
+    """A dynamic (hashmap) embedding table.
+
+    Rows are allocated lazily on first lookup and initialized from a
+    seeded normal distribution, so two tables with the same seed agree
+    on never-touched rows — which the cache-consistency property tests
+    rely on.
+    """
+
+    def __init__(self, dim: int, initializer_scale: float = 0.01,
+                 seed: int = 0, name: str = "table"):
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        self.dim = dim
+        self.name = name
+        self._scale = float(initializer_scale)
+        self._seed = seed
+        self._rows: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, key: int) -> bool:
+        return int(key) in self._rows
+
+    def _initial_row(self, key: int) -> np.ndarray:
+        rng = np.random.default_rng((self._seed * 0x9E3779B9 + key)
+                                    & 0x7FFFFFFF)
+        return (rng.standard_normal(self.dim) * self._scale).astype(
+            np.float32)
+
+    def lookup(self, ids: np.ndarray) -> np.ndarray:
+        """Fetch rows for ``ids`` (shape ``(n, dim)``), creating them."""
+        ids = np.asarray(ids).ravel()
+        out = np.empty((ids.size, self.dim), dtype=np.float32)
+        rows = self._rows
+        for index, raw in enumerate(ids):
+            key = int(raw)
+            row = rows.get(key)
+            if row is None:
+                row = self._initial_row(key)
+                rows[key] = row
+            out[index] = row
+        return out
+
+    def scatter_update(self, ids: np.ndarray, values: np.ndarray) -> None:
+        """Overwrite rows (last write wins for duplicate IDs)."""
+        ids = np.asarray(ids).ravel()
+        values = np.asarray(values, dtype=np.float32)
+        if values.shape != (ids.size, self.dim):
+            raise ValueError(
+                f"values shape {values.shape} != ({ids.size}, {self.dim})")
+        for index, raw in enumerate(ids):
+            self._rows[int(raw)] = values[index].copy()
+
+    def scatter_add(self, ids: np.ndarray, deltas: np.ndarray) -> None:
+        """Accumulate ``deltas`` into rows (duplicates accumulate)."""
+        ids = np.asarray(ids).ravel()
+        deltas = np.asarray(deltas, dtype=np.float32)
+        if deltas.shape != (ids.size, self.dim):
+            raise ValueError(
+                f"deltas shape {deltas.shape} != ({ids.size}, {self.dim})")
+        rows = self._rows
+        for index, raw in enumerate(ids):
+            key = int(raw)
+            row = rows.get(key)
+            if row is None:
+                row = self._initial_row(key)
+                rows[key] = row
+            row += deltas[index]
+
+    def memory_bytes(self) -> int:
+        """Approximate bytes held by materialized rows."""
+        return len(self._rows) * self.dim * 4
+
+    def keys(self) -> list:
+        """Materialized IDs (unordered)."""
+        return list(self._rows)

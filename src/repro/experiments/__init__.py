@@ -1,0 +1,11 @@
+"""Experiment harnesses: one module per table/figure in the paper.
+
+Every module exposes a ``run_*`` function returning plain dict/list
+records plus a ``paper_reference()`` with the published values, so the
+benchmarks can print paper-vs-measured side by side and EXPERIMENTS.md
+can be regenerated from the same source of truth.
+"""
+
+from repro.experiments import common
+
+__all__ = ["common"]

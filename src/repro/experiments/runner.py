@@ -1,0 +1,90 @@
+"""Run every experiment and render a paper-vs-measured report.
+
+``python -m repro.experiments.runner`` regenerates the full evaluation
+(the EXPERIMENTS.md data); individual experiments are importable for
+the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import (
+    fig01_gpu_util,
+    fig03_distribution,
+    fig05_breakdown,
+    fig10_walltime,
+    fig11_sm_cdf,
+    fig12_bandwidth,
+    fig13_ips,
+    fig14_interleaving,
+    fig15_scaling,
+    tab03_auc,
+    tab04_ablation,
+    tab05_op_counts,
+    tab06_hot_storage,
+    tab07_twelve_models,
+    tab08_feature_fields,
+    tab09_production,
+    tab10_model_scale,
+)
+from repro.experiments.common import format_table
+
+
+def _render(title: str, rows: list) -> str:
+    if not rows:
+        return f"== {title}: no rows =="
+    columns = list(rows[0].keys())
+    return f"== {title} ==\n{format_table(rows, columns)}"
+
+
+#: (experiment id, callable) for every table and figure.
+EXPERIMENTS = [
+    ("Fig. 1 GPU utilization trend",
+     lambda: fig01_gpu_util.run_gpu_util_trend()),
+    ("Fig. 3 ID distribution",
+     lambda: fig03_distribution.run_id_distribution()),
+    ("Fig. 5 worker-side breakdown",
+     lambda: fig05_breakdown.run_breakdown()),
+    ("Tab. III AUC", lambda: tab03_auc.run_auc()),
+    ("Fig. 10 walltime", lambda: fig10_walltime.run_walltime()),
+    ("Fig. 11 SM-utilization CDF",
+     lambda: fig11_sm_cdf.summary_rows(fig11_sm_cdf.run_sm_cdf())),
+    ("Fig. 12 bandwidth", lambda: fig12_bandwidth.run_bandwidth()),
+    ("Fig. 13 production IPS", lambda: fig13_ips.run_production_ips()),
+    ("Tab. IV ablation", lambda: tab04_ablation.run_ablation()),
+    ("Tab. V operation counts", lambda: tab05_op_counts.run_op_counts()),
+    ("Fig. 14 interleaving groups",
+     lambda: fig14_interleaving.run_interleave_groups()),
+    ("Fig. 14 micro-batches",
+     lambda: fig14_interleaving.run_micro_batches()),
+    ("Tab. VI hot-storage sweep",
+     lambda: tab06_hot_storage.run_hot_storage_sweep()),
+    ("Fig. 15 scaling out", lambda: fig15_scaling.run_scaling()),
+    ("Tab. VII twelve models",
+     lambda: tab07_twelve_models.run_twelve_models()),
+    ("Tab. VIII feature-field sweep",
+     lambda: tab08_feature_fields.run_feature_field_sweep()),
+    ("Tab. IX production summary",
+     lambda: tab09_production.run_production_summary()),
+    ("Tab. X model-scale walltime",
+     lambda: tab10_model_scale.run_model_scale()),
+]
+
+
+def run_all(stream=None) -> dict:
+    """Execute every experiment; returns {title: rows}."""
+    stream = stream or sys.stdout
+    results = {}
+    for title, runner in EXPERIMENTS:
+        start = time.time()
+        rows = runner()
+        results[title] = rows
+        print(_render(title, rows), file=stream)
+        print(f"  [{time.time() - start:.1f}s]\n", file=stream)
+    return results
+
+
+if __name__ == "__main__":
+    run_all()

@@ -1,0 +1,121 @@
+"""Static analysis of operator graphs: critical path and bottlenecks.
+
+Before simulating, a plan can be screened analytically:
+
+* :func:`resource_work_summary` — total demanded work per resource,
+  i.e. the lower bound each resource alone imposes on iteration time;
+* :func:`dominant_resource` — which resource binds (the paper's SS II-D
+  "the training would be bounded by one type of hardware resource");
+* :func:`critical_path_seconds` — the dependency-chain lower bound,
+  which no amount of extra hardware removes.
+
+The achievable iteration time is at least
+``max(critical_path, max_over_resources(work / capacity))``.
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import Graph
+from repro.graph.op import Op
+from repro.sim.resource import ResourceKind
+
+
+def op_duration_lower_bound(op: Op, capacities: dict,
+                            launch_seconds_per_micro_op: float) -> float:
+    """Fastest possible execution of one op, alone on the machine."""
+    total = op.micro_ops * launch_seconds_per_micro_op
+    for phase in op.phases:
+        capacity = capacities.get(phase.kind)
+        if capacity is None or capacity <= 0:
+            continue
+        rate = min(capacity, phase.max_rate)
+        total += phase.work / rate
+    return total
+
+
+def resource_work_summary(graph: Graph, capacities: dict) -> dict:
+    """Per-resource total work and the serial seconds it implies.
+
+    Returns ``{kind: {"work": units, "seconds": work/capacity}}`` —
+    the time each resource would need even with perfect overlap of
+    everything else.
+    """
+    totals = {kind: 0.0 for kind in capacities}
+    for op in graph.ops:
+        for phase in op.phases:
+            if phase.kind in totals:
+                totals[phase.kind] += phase.work
+    return {
+        kind: {
+            "work": work,
+            "seconds": work / capacities[kind]
+            if capacities[kind] > 0 else 0.0,
+        }
+        for kind, work in totals.items()
+    }
+
+
+def dominant_resource(graph: Graph, capacities: dict,
+                      launch_seconds_per_micro_op: float = 0.0) -> tuple:
+    """(kind, seconds) of the binding resource for this graph.
+
+    The launch path is included when a per-micro-op cost is given
+    (``ResourceKind.LAUNCH``): fragmentary graphs commonly bind there.
+    """
+    summary = resource_work_summary(graph, capacities)
+    if launch_seconds_per_micro_op > 0:
+        launch_capacity = capacities.get(ResourceKind.LAUNCH, 1.0)
+        seconds = (graph.total_micro_ops * launch_seconds_per_micro_op
+                   / max(launch_capacity, 1e-12))
+        summary.setdefault(ResourceKind.LAUNCH, {"work": 0.0,
+                                                 "seconds": 0.0})
+        summary[ResourceKind.LAUNCH]["seconds"] = max(
+            summary[ResourceKind.LAUNCH]["seconds"], seconds)
+    kind = max(summary, key=lambda item: summary[item]["seconds"])
+    return kind, summary[kind]["seconds"]
+
+
+def critical_path_seconds(graph: Graph, capacities: dict,
+                          launch_seconds_per_micro_op: float = 0.0) -> float:
+    """Longest dependency chain, in per-op lower-bound seconds."""
+    longest: dict = {}
+    best = 0.0
+    for op in graph.topological_order():
+        duration = op_duration_lower_bound(
+            op, capacities, launch_seconds_per_micro_op)
+        start = 0.0
+        for predecessor in graph.predecessors(op):
+            start = max(start, longest[predecessor.name])
+        longest[op.name] = start + duration
+        best = max(best, longest[op.name])
+    return best
+
+
+def iteration_time_lower_bound(graph: Graph, capacities: dict,
+                               launch_seconds_per_micro_op: float = 0.0
+                               ) -> float:
+    """max(critical path, binding-resource serial time)."""
+    _kind, resource_bound = dominant_resource(
+        graph, capacities, launch_seconds_per_micro_op)
+    chain_bound = critical_path_seconds(
+        graph, capacities, launch_seconds_per_micro_op)
+    return max(resource_bound, chain_bound)
+
+
+def bottleneck_report(graph: Graph, capacities: dict,
+                      launch_seconds_per_micro_op: float = 0.0) -> dict:
+    """One-stop diagnostic: bounds + per-resource shares."""
+    summary = resource_work_summary(graph, capacities)
+    kind, bound = dominant_resource(graph, capacities,
+                                    launch_seconds_per_micro_op)
+    chain = critical_path_seconds(graph, capacities,
+                                  launch_seconds_per_micro_op)
+    return {
+        "dominant_resource": kind.value,
+        "resource_bound_seconds": bound,
+        "critical_path_seconds": chain,
+        "lower_bound_seconds": max(bound, chain),
+        "per_resource_seconds": {
+            k.value: round(v["seconds"], 6) for k, v in summary.items()
+        },
+    }

@@ -1,0 +1,120 @@
+"""The operator DAG container and its compilation to simulator tasks."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.graph.op import Op
+from repro.sim.engine import SimTask
+from repro.sim.resource import Phase, ResourceKind
+
+
+class Graph:
+    """A DAG of :class:`~repro.graph.op.Op` nodes.
+
+    Edges express control/data dependencies.  The graph validates
+    acyclicity on demand and compiles to :class:`~repro.sim.engine.SimTask`
+    lists for execution.
+    """
+
+    def __init__(self, name: str = "graph"):
+        self.name = name
+        self.ops: list = []
+        self._succs: dict = {}
+        self._preds: dict = {}
+        self._by_name: dict = {}
+
+    def add(self, op: Op) -> Op:
+        """Insert an op; names must be unique within the graph."""
+        if op.name in self._by_name:
+            raise ValueError(f"duplicate op name: {op.name}")
+        self.ops.append(op)
+        self._by_name[op.name] = op
+        self._succs[op.name] = []
+        self._preds[op.name] = []
+        return op
+
+    def add_edge(self, before: Op, after: Op) -> None:
+        """Declare that ``after`` must wait for ``before``."""
+        if before.name not in self._by_name or after.name not in self._by_name:
+            raise KeyError("both ops must be added before linking")
+        if before is after:
+            raise ValueError(f"self-edge on {before.name}")
+        self._succs[before.name].append(after.name)
+        self._preds[after.name].append(before.name)
+
+    def op(self, name: str) -> Op:
+        """Look up an op by name."""
+        return self._by_name[name]
+
+    def successors(self, op: Op) -> list:
+        """Ops depending on ``op``."""
+        return [self._by_name[name] for name in self._succs[op.name]]
+
+    def predecessors(self, op: Op) -> list:
+        """Ops ``op`` depends on."""
+        return [self._by_name[name] for name in self._preds[op.name]]
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    @property
+    def total_micro_ops(self) -> int:
+        """Framework-level operation count (Tab. V's metric)."""
+        return sum(op.micro_ops for op in self.ops)
+
+    def ops_with_tag(self, key: str, value=None) -> list:
+        """Ops carrying a tag (optionally with a specific value)."""
+        if value is None:
+            return [op for op in self.ops if key in op.tags]
+        return [op for op in self.ops if op.tags.get(key) == value]
+
+    def topological_order(self) -> list:
+        """Kahn topological order; raises on cycles."""
+        indegree = {op.name: len(self._preds[op.name]) for op in self.ops}
+        queue = deque(name for name, degree in indegree.items()
+                      if degree == 0)
+        order = []
+        while queue:
+            name = queue.popleft()
+            order.append(self._by_name[name])
+            for succ in self._succs[name]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    queue.append(succ)
+        if len(order) != len(self.ops):
+            raise ValueError(f"graph {self.name!r} contains a cycle")
+        return order
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` if the graph is cyclic."""
+        self.topological_order()
+
+    def to_sim_tasks(self, launch_seconds_per_micro_op: float,
+                     launch_floor: float = 0.0) -> list:
+        """Compile to simulator tasks.
+
+        Each op gets a leading ``LAUNCH`` phase of
+        ``micro_ops * launch_seconds_per_micro_op`` (plus ``launch_floor``
+        per logical op), then its hardware phases.  Dependency edges are
+        translated one-to-one.
+        """
+        if launch_seconds_per_micro_op < 0:
+            raise ValueError("launch cost must be >= 0")
+        tasks = {}
+        for op in self.ops:
+            phases = []
+            launch = (op.micro_ops * launch_seconds_per_micro_op
+                      + launch_floor)
+            if launch > 0:
+                # One op's dispatch occupies a single executor thread
+                # (rate 1.0); parallelism only helps across ops.
+                phases.append(Phase(ResourceKind.LAUNCH, launch,
+                                    max_rate=1.0))
+            phases.extend(op.phases)
+            tasks[op.name] = SimTask(op.name, phases, tags=op.tags)
+        for op in self.ops:
+            task = tasks[op.name]
+            for pred in self._preds[op.name]:
+                task.depends_on(tasks[pred])
+        return [tasks[op.name] for op in self.ops]

@@ -1,0 +1,127 @@
+"""Operators: nodes of the per-iteration computation graph.
+
+An :class:`Op` is a *logical* operator carrying (a) the hardware work
+phases the simulator executes and (b) ``micro_ops``, the number of
+framework-level operations it expands to in a TF-style runtime.  The
+launch queue charges per micro-op, which is how fragmentary graphs
+become launch-bound, and Tab. V's operation counts are
+``sum(op.micro_ops)`` over a graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.resource import Phase, ResourceKind
+
+
+class OpKind:
+    """Operator kinds, grouped by the resource class that dominates them.
+
+    Plain string constants (not an Enum) so builders can derive variants
+    cheaply; grouping sets below drive K-Packing's rule of only fusing
+    kernels within one resource class.
+    """
+
+    IO_READ = "io_read"
+    UNIQUE = "unique"
+    PARTITION = "partition"
+    UNIQUE_PARTITION = "unique_partition"  # K-packed fusion
+    GATHER = "gather"
+    SHUFFLE = "shuffle"
+    STITCH = "stitch"
+    SHUFFLE_STITCH = "shuffle_stitch"  # K-packed fusion
+    SEGMENT_REDUCE = "segment_reduce"
+    H2D = "h2d"
+    D2H = "d2h"
+    INTERACTION = "interaction"
+    CONCAT = "concat"
+    MLP = "mlp"
+    LOSS = "loss"
+    GRAD = "grad"  # generic backward mirror
+    EMB_GRAD = "emb_grad"  # embedding gradient scatter
+    ALLREDUCE = "allreduce"
+    ALLTOALL = "alltoall"
+    PS_PULL = "ps_pull"
+    PS_PUSH = "ps_push"
+    OPT_SPARSE = "opt_sparse"
+    OPT_DENSE = "opt_dense"
+    CONTROL = "control"
+
+
+#: Kernel groups for K-Packing: only ops within one group may fuse.
+MEMORY_GROUP = frozenset({
+    OpKind.UNIQUE, OpKind.PARTITION, OpKind.UNIQUE_PARTITION, OpKind.GATHER,
+    OpKind.STITCH, OpKind.SEGMENT_REDUCE, OpKind.H2D, OpKind.D2H,
+    OpKind.EMB_GRAD, OpKind.OPT_SPARSE,
+})
+COMMUNICATION_GROUP = frozenset({
+    OpKind.SHUFFLE, OpKind.SHUFFLE_STITCH, OpKind.ALLREDUCE, OpKind.ALLTOALL,
+    OpKind.PS_PULL, OpKind.PS_PUSH, OpKind.IO_READ,
+})
+COMPUTE_GROUP = frozenset({
+    OpKind.INTERACTION, OpKind.MLP, OpKind.LOSS, OpKind.GRAD, OpKind.CONCAT,
+    OpKind.OPT_DENSE,
+})
+
+
+def kernel_group(kind: str) -> str:
+    """The K-Packing kernel group of an op kind."""
+    if kind in MEMORY_GROUP:
+        return "memory"
+    if kind in COMMUNICATION_GROUP:
+        return "communication"
+    if kind in COMPUTE_GROUP:
+        return "compute"
+    return "control"
+
+
+def efficiency_capped_rate(capacity: float, work: float,
+                           saturation_work: float) -> float:
+    """Peak rate a single kernel of a given size can sustain.
+
+    Small kernels cannot fill a device: a kernel with ``work`` far below
+    ``saturation_work`` only reaches a proportional fraction of
+    ``capacity``.  This is the occupancy model behind the paper's low
+    SM-utilization observation for fragmentary WDL graphs.
+    """
+    if work <= 0:
+        return capacity
+    fraction = min(1.0, work / max(saturation_work, 1e-9))
+    # Never let a kernel drop below 8% of peak: even small kernels and
+    # messages make pipelined forward progress.
+    return capacity * max(0.08, fraction)
+
+
+@dataclass
+class Op:
+    """A logical operator.
+
+    :param phases: hardware demands executed in order by the simulator.
+    :param micro_ops: framework operations this logical op expands to;
+        drives launch cost and Tab. V counts.
+    :param tags: metadata (``layer``, ``group``, ``module``, ...).
+    """
+
+    name: str
+    kind: str
+    phases: list
+    micro_ops: int = 1
+    tags: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.micro_ops < 0:
+            raise ValueError(f"micro_ops must be >= 0, got {self.micro_ops}")
+
+    @property
+    def group(self) -> str:
+        """K-Packing kernel group of this op."""
+        return kernel_group(self.kind)
+
+    def total_work(self, kind: ResourceKind) -> float:
+        """Summed phase work on one resource kind."""
+        return sum(phase.work for phase in self.phases
+                   if phase.kind is kind)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Op({self.name!r}, kind={self.kind}, micro={self.micro_ops})"

@@ -1,0 +1,54 @@
+"""Hardware substrate: parametric device and cluster models.
+
+The paper evaluates on two V100 clusters (Tab. I): AliCloud ``Gn6e``
+(8x V100-SXM2 per node, 32 Gbps TCP) and the on-premise ``EFLOPS``
+cluster (1x V100S-PCIe per node, 100 Gbps RDMA).  We reproduce both as
+parametric specifications; the discrete-event engine in
+:mod:`repro.sim` consumes them to derive resource capacities.
+"""
+
+from repro.hardware.specs import (
+    CpuSpec,
+    GpuSpec,
+    LinkSpec,
+    MemorySpec,
+    CPU_XEON_8163,
+    CPU_XEON_8269CY,
+    GPU_V100_SXM2,
+    GPU_V100S_PCIE,
+    DDR4_DRAM,
+    PCIE_GEN3_X16,
+    NVLINK_V100,
+    NET_TCP_32G,
+    NET_RDMA_100G,
+)
+from repro.hardware.topology import (
+    ClusterSpec,
+    NodeSpec,
+    GN6E_NODE,
+    EFLOPS_NODE,
+    gn6e_cluster,
+    eflops_cluster,
+)
+
+__all__ = [
+    "CpuSpec",
+    "GpuSpec",
+    "LinkSpec",
+    "MemorySpec",
+    "CPU_XEON_8163",
+    "CPU_XEON_8269CY",
+    "GPU_V100_SXM2",
+    "GPU_V100S_PCIE",
+    "DDR4_DRAM",
+    "PCIE_GEN3_X16",
+    "NVLINK_V100",
+    "NET_TCP_32G",
+    "NET_RDMA_100G",
+    "ClusterSpec",
+    "NodeSpec",
+    "GN6E_NODE",
+    "EFLOPS_NODE",
+    "gn6e_cluster",
+    "eflops_cluster",
+]

@@ -1,0 +1,155 @@
+"""Parametric specifications of commodity training hardware.
+
+All capacities are expressed in base SI units (bytes/second for
+bandwidths, FLOP/second for compute, seconds for latencies) so that the
+simulator never has to convert units.  The preset constants mirror
+Tab. I of the paper plus vendor datasheets for the V100 generation.
+
+These specs deliberately model *effective*, not peak, capability: a
+training workload rarely reaches datasheet numbers, and the paper's
+bottleneck analysis (launch overhead, PCIe congestion, network
+saturation) only depends on achievable throughput ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def gbps(value: float) -> float:
+    """Convert gigabits/second to bytes/second."""
+    return value * 1e9 / 8.0
+
+
+def gib(value: float) -> float:
+    """Convert GiB to bytes."""
+    return value * (1 << 30)
+
+
+def gbytes_per_s(value: float) -> float:
+    """Convert GB/s (decimal) to bytes/second."""
+    return value * 1e9
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """An accelerator card.
+
+    :param name: marketing name, e.g. ``"Tesla V100-SXM2"``.
+    :param sm_count: number of streaming multiprocessors.
+    :param fp32_flops: achievable single-precision FLOP/s in dense math.
+    :param hbm_bytes: device memory capacity in bytes.
+    :param hbm_bandwidth: achievable device memory bandwidth (B/s).
+    :param kernel_launch_latency: host-side time to issue one kernel
+        onto a CUDA stream, in seconds.  This is the constant that makes
+        fragmentary WDL graphs launch-bound (paper SS II-D).
+    """
+
+    name: str
+    sm_count: int
+    fp32_flops: float
+    hbm_bytes: float
+    hbm_bandwidth: float
+    kernel_launch_latency: float = 5.0e-6
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """A host processor.
+
+    ``op_dispatch_latency`` is the framework-side cost of scheduling one
+    graph operation (TF executor bookkeeping); it is paid for CPU ops and
+    adds to ``GpuSpec.kernel_launch_latency`` for GPU ops.
+    """
+
+    name: str
+    physical_cores: int
+    fp32_flops: float
+    op_dispatch_latency: float = 2.0e-6
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """A host memory pool (DRAM, persistent memory, ...)."""
+
+    name: str
+    capacity_bytes: float
+    bandwidth: float
+    access_latency: float = 1.0e-7
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A point-to-point or shared interconnect.
+
+    :param bandwidth: achievable bandwidth in bytes/second.
+    :param latency: per-message latency in seconds (protocol overhead).
+    :param duplex: whether both directions can be used concurrently.
+    """
+
+    name: str
+    bandwidth: float
+    latency: float
+    duplex: bool = True
+
+
+# --- Preset devices (Tab. I of the paper + V100 datasheets) -----------------
+
+GPU_V100_SXM2 = GpuSpec(
+    name="Tesla V100-SXM2-32GB",
+    sm_count=80,
+    fp32_flops=14.0e12,
+    hbm_bytes=gib(32),
+    hbm_bandwidth=gbytes_per_s(820.0),
+)
+
+GPU_V100S_PCIE = GpuSpec(
+    name="Tesla V100S-PCIe-32GB",
+    sm_count=80,
+    fp32_flops=15.0e12,
+    hbm_bytes=gib(32),
+    hbm_bandwidth=gbytes_per_s(990.0),
+)
+
+CPU_XEON_8163 = CpuSpec(
+    name="Xeon Platinum 8163",
+    physical_cores=96,
+    fp32_flops=3.0e12,
+)
+
+CPU_XEON_8269CY = CpuSpec(
+    name="Xeon Platinum 8269CY",
+    physical_cores=104,
+    fp32_flops=3.3e12,
+)
+
+DDR4_DRAM = MemorySpec(
+    name="DDR4-2666 (6 channels)",
+    capacity_bytes=gib(512),
+    bandwidth=gbytes_per_s(85.0),
+)
+
+PCIE_GEN3_X16 = LinkSpec(
+    name="PCIe Gen3 x16",
+    bandwidth=gbytes_per_s(12.0),
+    latency=2.0e-6,
+)
+
+NVLINK_V100 = LinkSpec(
+    name="NVLink 2.0 (per V100, aggregate)",
+    bandwidth=gbytes_per_s(130.0),
+    latency=1.0e-6,
+)
+
+NET_TCP_32G = LinkSpec(
+    name="32 Gbps Ethernet (TCP)",
+    # TCP stacks reach ~70% of line rate on large transfers.
+    bandwidth=gbps(32) * 0.7,
+    latency=4.0e-5,
+)
+
+NET_RDMA_100G = LinkSpec(
+    name="100 Gbps RDMA",
+    bandwidth=gbps(100) * 0.9,
+    latency=3.0e-6,
+)

@@ -1,0 +1,57 @@
+"""WDL model zoo: declarative specs for every model the paper evaluates.
+
+Models are *specifications*, not weights: a :class:`ModelSpec` names the
+sparse fields it embeds, the feature-interaction modules it applies to
+groups of fields, and the MLP head.  Two consumers exist:
+
+* :mod:`repro.graph` expands a spec into the per-iteration operator DAG
+  the simulator executes (throughput/utilization experiments);
+* :mod:`repro.nn` instantiates a runnable numpy network from the same
+  spec (accuracy experiments, Tab. III).
+"""
+
+from repro.models.base import (
+    InteractionKind,
+    InteractionModuleSpec,
+    ModelSpec,
+    interaction_flops_per_instance,
+)
+from repro.models.zoo import (
+    MODEL_BUILDERS,
+    atbrg,
+    can,
+    dcn,
+    deepfm,
+    dien,
+    din,
+    dlrm,
+    dsin,
+    lr,
+    mmoe,
+    star,
+    two_tower_dnn,
+    wide_deep,
+    xdeepfm,
+)
+
+__all__ = [
+    "InteractionKind",
+    "InteractionModuleSpec",
+    "ModelSpec",
+    "interaction_flops_per_instance",
+    "MODEL_BUILDERS",
+    "atbrg",
+    "can",
+    "dcn",
+    "deepfm",
+    "dien",
+    "din",
+    "dlrm",
+    "dsin",
+    "lr",
+    "mmoe",
+    "star",
+    "two_tower_dnn",
+    "wide_deep",
+    "xdeepfm",
+]

@@ -1,0 +1,267 @@
+"""Model specification types and interaction-module cost formulas.
+
+A WDL model (paper Fig. 2) = embedding layer over feature fields
++ feature-interaction layer (several constituent modules over field
+groups) + MLP head.  The cost formulas here give FLOPs *per training
+instance* for the forward pass; backward costs are derived as 2x in the
+graph builder, the standard approximation for dense layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.data.spec import DatasetSpec, FieldSpec
+
+
+class InteractionKind(str, Enum):
+    """Feature-interaction module families used by the model zoo."""
+
+    CONCAT = "concat"  # pure concatenation (W&D deep side)
+    SUM_POOL = "sum_pool"  # sum pooling of sequence embeddings
+    LINEAR = "linear"  # wide/LR side: weighted sum of one-hot features
+    FM = "fm"  # factorization machine second-order term
+    DOT = "dot"  # DLRM pairwise dot interaction
+    CROSS = "cross"  # DCN cross network
+    CIN = "cin"  # xDeepFM compressed interaction network
+    ATTENTION = "attention"  # DIN target attention over a sequence
+    GRU = "gru"  # DIEN interest evolution GRU
+    AUGRU = "augru"  # DIEN attention-update GRU
+    TRANSFORMER = "transformer"  # DSIN session self-attention
+    COACTION = "coaction"  # CAN co-action micro-MLPs per feature pair
+    EXPERT = "expert"  # MMoE expert MLP
+    GATE = "gate"  # MMoE per-task softmax gate
+    GRAPH = "graph"  # ATBRG relational-graph aggregation
+    STAR_FCN = "star_fcn"  # STAR topology shared+domain FCN
+    TOWER = "tower"  # two-tower DNN side tower
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"InteractionKind.{self.name}"
+
+
+@dataclass(frozen=True)
+class InteractionModuleSpec:
+    """One constituent feature-interaction module.
+
+    :param fields: names of the sparse fields whose embeddings feed the
+        module (a subset of the dataset's fields).
+    :param hidden: module-specific width (attention units, GRU hidden
+        size, expert layer width, ...).
+    :param repeats: how many structurally identical copies the model
+        instantiates (e.g. CAN applies co-action to many field pairs;
+        MMoE owns 71 experts).
+    """
+
+    name: str
+    kind: InteractionKind
+    fields: tuple
+    hidden: int = 32
+    repeats: int = 1
+
+    def __post_init__(self) -> None:
+        if self.repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {self.repeats}")
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A complete WDL model over a dataset.
+
+    :param mlp_layers: hidden sizes of the final MLP; the output layer
+        (width 1, sigmoid) is implicit.
+    :param num_tasks: prediction heads (MMoE-style multi-task models).
+    """
+
+    name: str
+    dataset: DatasetSpec
+    modules: tuple
+    mlp_layers: tuple = (512, 256, 128)
+    num_tasks: int = 1
+
+    def __post_init__(self) -> None:
+        known = {spec.name for spec in self.dataset.fields}
+        for module in self.modules:
+            missing = [name for name in module.fields if name not in known]
+            if missing:
+                raise ValueError(
+                    f"module {module.name!r} references unknown fields "
+                    f"{missing[:3]}...")
+
+    @property
+    def num_modules(self) -> int:
+        """Total interaction module instances (counting repeats)."""
+        return sum(module.repeats for module in self.modules)
+
+    def field_specs(self, module: InteractionModuleSpec) -> list:
+        """The :class:`FieldSpec` objects a module consumes."""
+        return [self.dataset.field(name) for name in module.fields]
+
+    def interaction_output_dim(self) -> int:
+        """Width of the concatenated feature-interaction output."""
+        total = 0
+        for module in self.modules:
+            dims = [spec.embedding_dim for spec in self.field_specs(module)]
+            # Expert banks feed a gated mixture, so the MLP sees one
+            # expert-width vector per task, not all experts concatenated.
+            repeats = 1 if module.kind is InteractionKind.EXPERT \
+                else module.repeats
+            total += repeats * _module_output_dim(module, dims)
+        return total + self.dataset.num_numeric
+
+    def mlp_parameters(self) -> int:
+        """Dense parameters of the MLP head (weights + biases)."""
+        widths = [self.interaction_output_dim(), *self.mlp_layers,
+                  self.num_tasks]
+        return sum(w_in * w_out + w_out
+                   for w_in, w_out in zip(widths[:-1], widths[1:]))
+
+    def dense_parameters(self) -> int:
+        """All data-parallel (non-embedding) parameters."""
+        dense = self.mlp_parameters()
+        for module in self.modules:
+            dims = [spec.embedding_dim for spec in self.field_specs(module)]
+            dense += module.repeats * _module_parameters(module, dims)
+        return dense
+
+
+def _module_output_dim(module: InteractionModuleSpec, dims: list) -> int:
+    """Output width of one module instance given its input dims."""
+    kind = module.kind
+    total_dim = sum(dims)
+    count = len(dims)
+    if kind in (InteractionKind.CONCAT, InteractionKind.STAR_FCN):
+        return total_dim
+    if kind in (InteractionKind.SUM_POOL, InteractionKind.ATTENTION,
+                InteractionKind.GRU, InteractionKind.AUGRU):
+        return dims[0] if dims else 0
+    if kind == InteractionKind.LINEAR:
+        return 1
+    if kind == InteractionKind.FM:
+        return 1
+    if kind == InteractionKind.DOT:
+        return count * (count - 1) // 2
+    if kind == InteractionKind.CROSS:
+        return total_dim
+    if kind == InteractionKind.CIN:
+        return module.hidden
+    if kind == InteractionKind.TRANSFORMER:
+        return dims[0] if dims else 0
+    if kind == InteractionKind.COACTION:
+        return module.hidden
+    if kind in (InteractionKind.EXPERT, InteractionKind.TOWER):
+        return module.hidden
+    if kind == InteractionKind.GATE:
+        # Gate outputs weight the expert mixture internally; nothing is
+        # concatenated into the MLP input.
+        return 0
+    if kind == InteractionKind.GRAPH:
+        return dims[0] if dims else 0
+    raise ValueError(f"unknown interaction kind: {kind}")
+
+
+def _module_parameters(module: InteractionModuleSpec, dims: list) -> int:
+    """Trainable dense parameters of one module instance."""
+    kind = module.kind
+    d = dims[0] if dims else 0
+    total_dim = sum(dims)
+    h = module.hidden
+    if kind in (InteractionKind.CONCAT, InteractionKind.SUM_POOL,
+                InteractionKind.DOT, InteractionKind.FM,
+                InteractionKind.LINEAR):
+        return 0
+    if kind == InteractionKind.CROSS:
+        return 3 * 2 * total_dim  # 3 cross layers: w + b each
+    if kind == InteractionKind.CIN:
+        return 2 * h * len(dims) * len(dims)
+    if kind == InteractionKind.ATTENTION:
+        return 4 * d * h
+    if kind in (InteractionKind.GRU, InteractionKind.AUGRU):
+        return 6 * d * d
+    if kind == InteractionKind.TRANSFORMER:
+        return 4 * d * d + 2 * d * h
+    if kind == InteractionKind.COACTION:
+        return d * h + h * h
+    if kind in (InteractionKind.EXPERT, InteractionKind.TOWER,
+                InteractionKind.STAR_FCN):
+        # Expert/tower FCNs are multi-layer: input proj + 2 hidden.
+        return total_dim * h + 2 * h * h
+    if kind == InteractionKind.GATE:
+        return total_dim * h
+    if kind == InteractionKind.GRAPH:
+        return 2 * d * d
+    raise ValueError(f"unknown interaction kind: {kind}")
+
+
+def interaction_flops_per_instance(module: InteractionModuleSpec,
+                                   fields: list) -> float:
+    """Forward FLOPs of one module instance for a single instance.
+
+    Formulas follow the standard 2*MAC convention for dense math; ``L``
+    is the behaviour-sequence length of the module's first field.
+    """
+    dims = [spec.embedding_dim for spec in fields]
+    if not dims:
+        return 0.0
+    d = dims[0]
+    total_dim = sum(dims)
+    count = len(dims)
+    seq = max(spec.seq_length for spec in fields)
+    h = module.hidden
+    kind = module.kind
+    if kind == InteractionKind.CONCAT:
+        return 0.0
+    if kind == InteractionKind.LINEAR:
+        return 2.0 * count
+    if kind == InteractionKind.SUM_POOL:
+        return float(seq * d)
+    if kind == InteractionKind.FM:
+        return 4.0 * count * d
+    if kind == InteractionKind.DOT:
+        return float(count * count * d)
+    if kind == InteractionKind.CROSS:
+        return 3 * 4.0 * total_dim  # 3 cross layers
+    if kind == InteractionKind.CIN:
+        return 2.0 * count * count * d * h
+    if kind == InteractionKind.ATTENTION:
+        return 2.0 * seq * (2 * d * h + h)
+    if kind == InteractionKind.GRU:
+        return 2.0 * seq * 3 * d * d
+    if kind == InteractionKind.AUGRU:
+        return 2.0 * seq * (3 * d * d + d * h)
+    if kind == InteractionKind.TRANSFORMER:
+        return 2.0 * (seq * seq * d + 4 * seq * d * d + 2 * seq * d * h)
+    if kind == InteractionKind.COACTION:
+        return 2.0 * seq * (d * h + h * h)
+    if kind in (InteractionKind.EXPERT, InteractionKind.TOWER,
+                InteractionKind.STAR_FCN):
+        return 2.0 * (total_dim * h + 2 * h * h)
+    if kind == InteractionKind.GATE:
+        return 2.0 * total_dim * h
+    if kind == InteractionKind.GRAPH:
+        return 2.0 * seq * 2 * d * d
+    raise ValueError(f"unknown interaction kind: {kind}")
+
+
+#: Framework-level micro-operations one module instance expands to in a
+#: TF-style graph (forward only; the builder mirrors backward).  These
+#: calibrate Tab. V's operation counts.
+MODULE_MICRO_OPS = {
+    InteractionKind.CONCAT: 4,
+    InteractionKind.LINEAR: 6,
+    InteractionKind.SUM_POOL: 6,
+    InteractionKind.FM: 14,
+    InteractionKind.DOT: 12,
+    InteractionKind.CROSS: 30,
+    InteractionKind.CIN: 46,
+    InteractionKind.ATTENTION: 60,
+    InteractionKind.GRU: 160,
+    InteractionKind.AUGRU: 200,
+    InteractionKind.TRANSFORMER: 110,
+    InteractionKind.COACTION: 42,
+    InteractionKind.EXPERT: 18,
+    InteractionKind.GATE: 10,
+    InteractionKind.GRAPH: 70,
+    InteractionKind.STAR_FCN: 24,
+    InteractionKind.TOWER: 18,
+}

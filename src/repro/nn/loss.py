@@ -1,0 +1,26 @@
+"""Binary cross-entropy on logits, with gradient."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import sigmoid
+
+
+def bce_loss(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Mean binary cross-entropy computed stably from logits."""
+    logits = np.asarray(logits, dtype=np.float64).ravel()
+    labels = np.asarray(labels, dtype=np.float64).ravel()
+    if logits.shape != labels.shape:
+        raise ValueError(
+            f"shape mismatch: {logits.shape} vs {labels.shape}")
+    # log(1+exp(x)) without overflow.
+    softplus = np.maximum(logits, 0) + np.log1p(np.exp(-np.abs(logits)))
+    return float(np.mean(softplus - logits * labels))
+
+
+def bce_loss_grad(logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """d(mean BCE)/d(logits) = (sigmoid(x) - y) / n."""
+    logits = np.asarray(logits, dtype=np.float64).ravel()
+    labels = np.asarray(labels, dtype=np.float64).ravel()
+    return (sigmoid(logits) - labels) / logits.size

@@ -1,0 +1,54 @@
+"""Evaluation metrics: AUC and log-loss (the standard CTR metrics)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def auc_score(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve via the Mann-Whitney U statistic.
+
+    Ties in scores receive average ranks, matching
+    ``sklearn.metrics.roc_auc_score``.  Returns 0.5 when one class is
+    absent (undefined AUC).
+    """
+    labels = np.asarray(labels, dtype=np.float64).ravel()
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    if labels.shape != scores.shape:
+        raise ValueError(
+            f"shape mismatch: {labels.shape} vs {scores.shape}")
+    positives = labels > 0.5
+    num_pos = int(positives.sum())
+    num_neg = labels.size - num_pos
+    if num_pos == 0 or num_neg == 0:
+        return 0.5
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(labels.size, dtype=np.float64)
+    sorted_scores = scores[order]
+    index = 0
+    position = 1.0
+    while index < labels.size:
+        tail = index
+        while (tail + 1 < labels.size
+               and sorted_scores[tail + 1] == sorted_scores[index]):
+            tail += 1
+        average_rank = (position + position + (tail - index)) / 2.0
+        ranks[order[index:tail + 1]] = average_rank
+        position += tail - index + 1
+        index = tail + 1
+    rank_sum = ranks[positives].sum()
+    u_statistic = rank_sum - num_pos * (num_pos + 1) / 2.0
+    return float(u_statistic / (num_pos * num_neg))
+
+
+def log_loss(labels: np.ndarray, probabilities: np.ndarray,
+             epsilon: float = 1e-12) -> float:
+    """Mean negative log-likelihood of the predicted probabilities."""
+    labels = np.asarray(labels, dtype=np.float64).ravel()
+    probs = np.clip(np.asarray(probabilities, dtype=np.float64).ravel(),
+                    epsilon, 1.0 - epsilon)
+    if labels.shape != probs.shape:
+        raise ValueError(
+            f"shape mismatch: {labels.shape} vs {probs.shape}")
+    return float(-np.mean(labels * np.log(probs)
+                          + (1 - labels) * np.log(1 - probs)))

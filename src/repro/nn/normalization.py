@@ -1,0 +1,131 @@
+"""Normalization and residual blocks for the MLP head.
+
+Paper SS II-A: "MLP also contains computation-intensive architectural
+units such as batch normalization and residual connection", and SS IV
+notes that super-large-batch training pairs with global batch norm.
+Both are implemented here with manual gradients so the accuracy
+experiments can enable them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Dense, relu, relu_grad
+
+
+class BatchNorm:
+    """1D batch normalization with running statistics.
+
+    Training mode normalizes by batch statistics and maintains
+    exponential running averages; evaluation mode uses the running
+    averages (standard Ioffe & Szegedy semantics).
+    """
+
+    def __init__(self, dim: int, name: str, momentum: float = 0.9,
+                 epsilon: float = 1e-5):
+        if dim < 1:
+            raise ValueError("dim must be >= 1")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.name = name
+        self.gamma = np.ones(dim)
+        self.beta = np.zeros(dim)
+        self.grad_gamma = np.zeros(dim)
+        self.grad_beta = np.zeros(dim)
+        self.running_mean = np.zeros(dim)
+        self.running_var = np.ones(dim)
+        self.momentum = momentum
+        self.epsilon = epsilon
+        self.training = True
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Normalize a ``(batch, dim)`` activation matrix."""
+        if self.training:
+            mean = x.mean(axis=0)
+            var = x.var(axis=0)
+            self.running_mean *= self.momentum
+            self.running_mean += (1 - self.momentum) * mean
+            self.running_var *= self.momentum
+            self.running_var += (1 - self.momentum) * var
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        std = np.sqrt(var + self.epsilon)
+        normalized = (x - mean) / std
+        self._cache = (normalized, std, x.shape[0])
+        return self.gamma * normalized + self.beta
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Gradient w.r.t. the input; accumulates gamma/beta grads."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        normalized, std, batch = self._cache
+        self.grad_gamma += (grad * normalized).sum(axis=0)
+        self.grad_beta += grad.sum(axis=0)
+        if not self.training:
+            return grad * self.gamma / std
+        grad_norm = grad * self.gamma
+        term = (grad_norm
+                - grad_norm.mean(axis=0)
+                - normalized * (grad_norm * normalized).mean(axis=0))
+        return term / std
+
+    def parameters(self) -> dict:
+        """Trainable scale/shift parameters."""
+        return {
+            f"{self.name}.gamma": (self.gamma, self.grad_gamma),
+            f"{self.name}.beta": (self.beta, self.grad_beta),
+        }
+
+    def zero_grad(self) -> None:
+        """Reset parameter gradients."""
+        self.grad_gamma[:] = 0.0
+        self.grad_beta[:] = 0.0
+
+
+class ResidualBlock:
+    """``y = relu(x + Dense2(relu(Dense1(x))))`` with manual grads.
+
+    Width-preserving residual unit (He et al.), the other
+    compute-intensive MLP element the paper names.
+    """
+
+    def __init__(self, dim: int, name: str, rng: np.random.Generator):
+        self.name = name
+        self.first = Dense(dim, dim, f"{name}.fc1", rng)
+        self.second = Dense(dim, dim, f"{name}.fc2", rng)
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Residual forward pass."""
+        pre1 = self.first.forward(x)
+        hidden = relu(pre1)
+        pre2 = self.second.forward(hidden)
+        summed = x + pre2
+        self._cache = (pre1, summed)
+        return relu(summed)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Gradient w.r.t. the block input."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        pre1, summed = self._cache
+        grad_sum = relu_grad(summed, grad)
+        grad_hidden = self.second.backward(grad_sum)
+        grad_pre1 = relu_grad(pre1, grad_hidden)
+        grad_x = self.first.backward(grad_pre1)
+        return grad_x + grad_sum
+
+    def parameters(self) -> dict:
+        """Both dense layers' parameters."""
+        params = {}
+        params.update(self.first.parameters())
+        params.update(self.second.parameters())
+        return params
+
+    def zero_grad(self) -> None:
+        """Reset both layers' gradients."""
+        self.first.zero_grad()
+        self.second.zero_grad()

@@ -1,0 +1,259 @@
+"""The discrete-event engine executing operator DAGs on shared resources.
+
+Execution model:
+
+* Every :class:`SimTask` runs its :class:`~repro.sim.resource.Phase`
+  list in order; a phase occupies exactly one resource.
+* A task becomes *ready* once all its predecessors finished; ready
+  tasks are admitted to their first phase's resource, waiting FIFO if
+  the resource has no free slot (the launch queue has one slot).
+* Between events, every resource splits its capacity across occupants
+  by water-filling; the engine advances to the earliest phase
+  completion, logs the interval, and repeats.
+
+The engine simulates a single worker node in detail.  Distributed
+effects (collective communication volume, stragglers from skewed data)
+enter through the phase costs computed by :mod:`repro.distributed`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.hardware.topology import NodeSpec
+from repro.sim.resource import Phase, Resource, ResourceKind
+from repro.sim.trace import TraceRecorder
+
+_EPS = 1e-12
+
+
+class SimTask:
+    """One schedulable unit: an operator instance with sequential phases.
+
+    :param name: identifier for debugging and per-task metrics.
+    :param phases: the resource demands, executed in order.  Zero-work
+        phases complete immediately and are allowed (useful for pure
+        control-flow nodes).
+    :param tags: free-form metadata (layer name, op kind, ...), carried
+        into results for breakdowns.
+    """
+
+    __slots__ = ("name", "phases", "tags", "succs", "indegree",
+                 "_phase_index", "remaining", "finish_time", "start_time")
+
+    def __init__(self, name: str, phases: list, tags: dict | None = None):
+        self.name = name
+        self.phases = list(phases)
+        self.tags = tags or {}
+        self.succs: list = []
+        self.indegree = 0
+        self._phase_index = 0
+        self.remaining = self.phases[0].work if self.phases else 0.0
+        self.finish_time: float | None = None
+        self.start_time: float | None = None
+
+    @property
+    def current_phase(self) -> Phase:
+        """The phase the task is currently executing or about to enter."""
+        return self.phases[self._phase_index]
+
+    @property
+    def done_with_phases(self) -> bool:
+        """Whether every phase has completed."""
+        return self._phase_index >= len(self.phases)
+
+    def advance_phase(self) -> bool:
+        """Move to the next phase; return ``False`` when none remain."""
+        self._phase_index += 1
+        if self._phase_index >= len(self.phases):
+            return False
+        self.remaining = self.current_phase.work
+        return True
+
+    def depends_on(self, other: "SimTask") -> None:
+        """Declare that this task cannot start before ``other`` finishes."""
+        other.succs.append(self)
+        self.indegree += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimTask({self.name!r}, phases={len(self.phases)})"
+
+
+@dataclass
+class SimResult:
+    """Outcome of one engine run."""
+
+    makespan: float
+    recorder: TraceRecorder
+    task_count: int
+    event_count: int
+    finish_times: dict = field(default_factory=dict)
+
+    def busy_fraction(self, kind: ResourceKind) -> float:
+        """Fraction of the makespan the resource was occupied at all."""
+        if self.makespan <= 0:
+            return 0.0
+        return min(1.0, self.recorder.trace(kind).busy_seconds / self.makespan)
+
+    def mean_rate(self, kind: ResourceKind) -> float:
+        """Average sustained rate on the resource over the makespan."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.recorder.trace(kind).work_done / self.makespan
+
+
+def build_node_resources(node: NodeSpec, launch_slots: int = 4,
+                         net_efficiency: float = 0.35,
+                         pcie_efficiency: float = 0.5) -> dict:
+    """Instantiate the per-worker resource set for a cluster node.
+
+    One worker owns one GPU; the host-side resources (DRAM bandwidth,
+    PCIe lanes, NIC) are divided evenly among the node's workers, which
+    is how co-located workers contend in practice.
+
+    ``launch_slots`` models the framework's inter-op parallelism (TF
+    executors dispatch from a small thread pool); ``net_efficiency`` is
+    the achievable fraction of NIC line rate for collective traffic
+    (protocol overhead, incast, synchronization).
+    """
+    share = max(1, node.gpus_per_node)
+    resources = {
+        ResourceKind.LAUNCH: Resource(
+            ResourceKind.LAUNCH, capacity=float(launch_slots),
+            slots=launch_slots),
+        ResourceKind.CPU: Resource(
+            ResourceKind.CPU, capacity=node.cpu.fp32_flops / share),
+        ResourceKind.GPU_SM: Resource(
+            ResourceKind.GPU_SM, capacity=node.gpu.fp32_flops),
+        ResourceKind.HBM: Resource(
+            ResourceKind.HBM, capacity=node.gpu.hbm_bandwidth),
+        ResourceKind.DRAM: Resource(
+            ResourceKind.DRAM, capacity=node.dram.bandwidth / share),
+        ResourceKind.PCIE: Resource(
+            ResourceKind.PCIE,
+            capacity=node.pcie.bandwidth * pcie_efficiency),
+        ResourceKind.NET: Resource(
+            ResourceKind.NET,
+            capacity=node.network.bandwidth * net_efficiency / share),
+    }
+    if node.nvlink is not None:
+        resources[ResourceKind.NVLINK] = Resource(
+            ResourceKind.NVLINK, capacity=node.nvlink.bandwidth)
+    return resources
+
+
+class Engine:
+    """Runs a set of :class:`SimTask` DAG nodes to completion."""
+
+    def __init__(self, resources: dict, record_trace: bool = True):
+        """:param resources: mapping of kind -> :class:`Resource`."""
+        self.resources = resources
+        self.record_trace = record_trace
+
+    def run(self, tasks: list, keep_finish_times: bool = False) -> SimResult:
+        """Execute ``tasks`` and return timing plus utilization traces.
+
+        Raises :class:`RuntimeError` on dependency cycles (detected as a
+        stall with unfinished tasks) and :class:`KeyError` when a phase
+        references a resource kind this engine was not built with.
+        """
+        for resource in self.resources.values():
+            resource.active.clear()
+            resource.queue.clear()
+        recorder = TraceRecorder(
+            {kind: res.capacity for kind, res in self.resources.items()})
+        now = 0.0
+        events = 0
+        finished = 0
+        total = len(tasks)
+        running: set = set()
+
+        def admit(task: SimTask) -> None:
+            while True:
+                if task.done_with_phases or not task.phases:
+                    complete(task)
+                    return
+                if task.current_phase.work <= 0:
+                    if not task.advance_phase():
+                        complete(task)
+                        return
+                    continue
+                break
+            resource = self.resources[task.current_phase.kind]
+            if resource.has_free_slot():
+                resource.active.append(task)
+                running.add(task)
+                if task.start_time is None:
+                    task.start_time = now
+            else:
+                resource.queue.append(task)
+
+        def complete(task: SimTask) -> None:
+            nonlocal finished
+            task.finish_time = now
+            finished += 1
+            for succ in task.succs:
+                succ.indegree -= 1
+                if succ.indegree == 0:
+                    admit(succ)
+
+        # Snapshot the initial ready set first: admitting a zero-work
+        # task can cascade completions that drop other tasks' indegree
+        # to zero, and those are already admitted by the cascade.
+        initially_ready = [task for task in tasks if task.indegree == 0]
+        for task in initially_ready:
+            admit(task)
+
+        while running:
+            events += 1
+            # Allocate rates per resource and find the earliest completion.
+            rates: dict = {}
+            totals: dict = {}
+            dt = math.inf
+            for kind, resource in self.resources.items():
+                if not resource.active:
+                    continue
+                allocation = resource.allocate_rates()
+                totals[kind] = sum(allocation.values())
+                for task, rate in allocation.items():
+                    rates[task] = rate
+                    if rate > 0:
+                        dt = min(dt, task.remaining / rate)
+            if not math.isfinite(dt):
+                raise RuntimeError("simulation stalled with running tasks")
+            dt = max(dt, 0.0)
+            if dt > 0:
+                recorder.add_interval(now, now + dt, totals)
+            now += dt
+
+            completed_phase = []
+            for task, rate in rates.items():
+                task.remaining -= rate * dt
+                if task.remaining <= _EPS * max(1.0, rate):
+                    completed_phase.append(task)
+            for task in completed_phase:
+                resource = self.resources[task.current_phase.kind]
+                resource.active.remove(task)
+                running.discard(task)
+                while resource.queue and resource.has_free_slot():
+                    queued = resource.queue.pop(0)
+                    resource.active.append(queued)
+                    running.add(queued)
+                    if queued.start_time is None:
+                        queued.start_time = now
+                if task.advance_phase():
+                    admit(task)
+                else:
+                    complete(task)
+
+        if finished != total:
+            stuck = total - finished
+            raise RuntimeError(
+                f"{stuck} task(s) never became ready; dependency cycle?")
+        finish_times = {}
+        if keep_finish_times:
+            finish_times = {task.name: task.finish_time for task in tasks}
+        return SimResult(makespan=now, recorder=recorder,
+                         task_count=total, event_count=events,
+                         finish_times=finish_times)

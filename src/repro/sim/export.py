@@ -1,0 +1,80 @@
+"""Trace export: JSON timelines and ASCII Gantt charts.
+
+Production PICASSO ships DCGM/timeline tooling for diagnosing
+stragglers; this module provides the equivalent developer-facing
+exports over :class:`~repro.sim.trace.TraceRecorder` data.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.sim.engine import SimResult
+from repro.sim.metrics import utilization_timeline
+from repro.sim.resource import ResourceKind
+from repro.sim.trace import TraceRecorder
+
+#: Glyph ramp for ASCII utilization levels (empty .. saturated).
+_RAMP = " .:-=+*#%@"
+
+
+def timeline_json(result: SimResult, bucket: float = 0.010) -> str:
+    """Serialize per-resource utilization timelines as JSON.
+
+    The schema is ``{resource: {"bucket_seconds": b, "utilization":
+    [..]}, "makespan": s}`` — stable for notebook plotting.
+    """
+    payload = {"makespan": result.makespan, "buckets": {}}
+    for kind in result.recorder.kinds():
+        _times, util = utilization_timeline(result.recorder, kind,
+                                            result.makespan, bucket)
+        payload["buckets"][kind.value] = {
+            "bucket_seconds": bucket,
+            "utilization": [round(float(value), 4) for value in util],
+        }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def ascii_gantt(result: SimResult, width: int = 72,
+                kinds: tuple | None = None) -> str:
+    """Render per-resource utilization as an ASCII chart.
+
+    One row per resource; each column is a time bucket whose glyph
+    encodes the utilization level.  Useful for eyeballing pipeline
+    overlap (the Fig. 8 interleaving pictures, in text).
+    """
+    if width < 8:
+        raise ValueError("width must be >= 8")
+    if result.makespan <= 0:
+        return "(empty trace)"
+    bucket = result.makespan / width
+    selected = kinds or tuple(result.recorder.kinds())
+    label_width = max(len(kind.value) for kind in selected)
+    lines = []
+    for kind in selected:
+        _times, util = utilization_timeline(result.recorder, kind,
+                                            result.makespan, bucket)
+        glyphs = "".join(
+            _RAMP[min(len(_RAMP) - 1, int(value * (len(_RAMP) - 1)
+                                          + 0.5))]
+            for value in util[:width])
+        lines.append(f"{kind.value.ljust(label_width)} |{glyphs}|")
+    scale = (f"{' ' * label_width}  0s{' ' * (width - 12)}"
+             f"{result.makespan:.3f}s")
+    lines.append(scale)
+    return "\n".join(lines)
+
+
+def busy_summary(result: SimResult) -> dict:
+    """Per-resource busy fraction and mean utilization, one dict."""
+    summary = {}
+    for kind in result.recorder.kinds():
+        trace = result.recorder.trace(kind)
+        summary[kind.value] = {
+            "busy_fraction": round(
+                min(1.0, trace.busy_seconds
+                    / result.makespan) if result.makespan else 0.0, 4),
+            "mean_utilization": round(
+                trace.utilization(result.makespan), 4),
+        }
+    return summary

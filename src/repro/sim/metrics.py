@@ -1,0 +1,128 @@
+"""Derived metrics over simulation traces.
+
+These mirror the paper's measurement methodology: DCGM-style sampling
+of SM utilization and link bandwidth on a fixed-width (default 10 ms)
+grid, then CDFs / timelines over the samples (Figs. 11 and 12).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.resource import ResourceKind
+from repro.sim.trace import TraceRecorder
+
+#: Sampling granularity used throughout the paper's utilization plots.
+DEFAULT_BUCKET_SECONDS = 0.010
+
+
+def _bucketize(segments: list, makespan: float, bucket: float) -> np.ndarray:
+    """Integrate (t0, t1, rate) segments onto a fixed grid.
+
+    Returns per-bucket average rate (resource units per second).
+    """
+    if makespan <= 0:
+        return np.zeros(0)
+    num_buckets = max(1, int(np.ceil(makespan / bucket)))
+    sums = np.zeros(num_buckets)
+    for t0, t1, rate in segments:
+        first = int(t0 // bucket)
+        last = min(num_buckets - 1, int((t1 - 1e-15) // bucket))
+        for index in range(first, last + 1):
+            lo = max(t0, index * bucket)
+            hi = min(t1, (index + 1) * bucket)
+            if hi > lo:
+                sums[index] += rate * (hi - lo)
+        # Guard against zero-width segments spilling past the grid.
+    return sums / bucket
+
+
+def utilization_timeline(recorder: TraceRecorder, kind: ResourceKind,
+                         makespan: float,
+                         bucket: float = DEFAULT_BUCKET_SECONDS):
+    """Per-bucket utilization (0..1) of a resource.
+
+    Returns ``(times, utilization)`` arrays; ``times`` are bucket starts.
+    """
+    trace = recorder.trace(kind)
+    rates = _bucketize(trace.segments, makespan, bucket)
+    utilization = np.clip(rates / trace.capacity, 0.0, 1.0)
+    times = np.arange(len(utilization)) * bucket
+    return times, utilization
+
+
+def bandwidth_timeline(recorder: TraceRecorder, kind: ResourceKind,
+                       makespan: float,
+                       bucket: float = DEFAULT_BUCKET_SECONDS):
+    """Per-bucket sustained bandwidth (resource units/s, e.g. B/s)."""
+    trace = recorder.trace(kind)
+    rates = _bucketize(trace.segments, makespan, bucket)
+    times = np.arange(len(rates)) * bucket
+    return times, rates
+
+
+def utilization_cdf(recorder: TraceRecorder, kind: ResourceKind,
+                    makespan: float,
+                    bucket: float = DEFAULT_BUCKET_SECONDS):
+    """Empirical CDF of bucketed utilization samples (Fig. 11).
+
+    Returns ``(levels, cdf)`` where ``cdf[i]`` is the fraction of time
+    the utilization was <= ``levels[i]``.
+    """
+    _times, samples = utilization_timeline(recorder, kind, makespan, bucket)
+    if samples.size == 0:
+        return np.zeros(0), np.zeros(0)
+    levels = np.sort(samples)
+    cdf = np.arange(1, len(levels) + 1) / len(levels)
+    return levels, cdf
+
+
+def busy_timeline(recorder: TraceRecorder, kinds, makespan: float,
+                  bucket: float = DEFAULT_BUCKET_SECONDS):
+    """Per-bucket fraction of time *any* of ``kinds`` was active.
+
+    This is the DCGM-style GPU-utilization sample the paper's Fig. 11
+    plots: a multiprocessor counts as utilized while any kernel
+    (compute- or memory-bound) is resident.
+    """
+    if makespan <= 0:
+        return np.zeros(0), np.zeros(0)
+    intervals = []
+    for kind in kinds:
+        trace = recorder.trace(kind)
+        intervals.extend((t0, t1) for t0, t1, _rate in trace.segments)
+    num_buckets = max(1, int(np.ceil(makespan / bucket)))
+    busy = np.zeros(num_buckets)
+    if intervals:
+        intervals.sort()
+        merged = [list(intervals[0])]
+        for t0, t1 in intervals[1:]:
+            if t0 > merged[-1][1]:
+                merged.append([t0, t1])
+            else:
+                merged[-1][1] = max(merged[-1][1], t1)
+        for t0, t1 in merged:
+            first = int(t0 // bucket)
+            last = min(num_buckets - 1, int((t1 - 1e-15) // bucket))
+            for index in range(first, last + 1):
+                lo = max(t0, index * bucket)
+                hi = min(t1, (index + 1) * bucket)
+                if hi > lo:
+                    busy[index] += hi - lo
+    times = np.arange(num_buckets) * bucket
+    return times, np.clip(busy / bucket, 0.0, 1.0)
+
+
+def busy_fraction(recorder: TraceRecorder, kind: ResourceKind,
+                  makespan: float) -> float:
+    """Fraction of the run during which the resource was occupied."""
+    if makespan <= 0:
+        return 0.0
+    return min(1.0, recorder.trace(kind).busy_seconds / makespan)
+
+
+def mean_utilization(recorder: TraceRecorder, kind: ResourceKind,
+                     makespan: float) -> float:
+    """Average fraction of capacity consumed over the run."""
+    trace = recorder.trace(kind)
+    return trace.utilization(makespan)

@@ -1,0 +1,31 @@
+"""Real (numpy) training loops: synchronous and async-PS variants.
+
+Synchronous data-parallel training (PICASSO's hybrid strategy, Horovod,
+PyTorch AllToAll) is mathematically identical to single-worker training
+on the combined batch; asynchronous PS training applies *stale*
+gradients, which is what costs TF-PS a little accuracy in Tab. III.
+"""
+
+from repro.training.checkpoint import (
+    checkpoint_bytes,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.training.trainer import (
+    AsyncPsTrainer,
+    SyncTrainer,
+    TrainResult,
+    evaluate,
+    train_and_evaluate,
+)
+
+__all__ = [
+    "AsyncPsTrainer",
+    "SyncTrainer",
+    "TrainResult",
+    "evaluate",
+    "train_and_evaluate",
+    "checkpoint_bytes",
+    "load_checkpoint",
+    "save_checkpoint",
+]

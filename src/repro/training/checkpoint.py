@@ -1,0 +1,81 @@
+"""Checkpointing: save/restore full training state.
+
+Production PICASSO leans on in-house failover-recovery (out of the
+paper's scope); an open-source release still needs basic durable
+checkpoints.  State is serialized with ``numpy.savez`` — dense
+parameters, embedding tables, and optimizer slots — so a resumed run
+continues the exact trajectory.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.network import WdlNetwork
+
+
+def save_checkpoint(network: WdlNetwork, path, step: int = 0,
+                    metadata: dict | None = None) -> None:
+    """Serialize a network's full trainable state to ``path`` (.npz)."""
+    if step < 0:
+        raise ValueError("step must be >= 0")
+    arrays = {}
+    for name, (value, _grad) in network.parameters().items():
+        arrays[f"dense/{name}"] = value
+    for field_name, table in network.embeddings.items():
+        arrays[f"table/{field_name}"] = table.table
+    header = {
+        "step": step,
+        "variant": network.variant,
+        "embedding_dim": network.embedding_dim,
+        "dataset": network.dataset.name,
+        "metadata": metadata or {},
+    }
+    arrays["__header__"] = np.frombuffer(
+        json.dumps(header).encode(), dtype=np.uint8)
+    np.savez(path, **arrays)
+
+
+def load_checkpoint(network: WdlNetwork, path) -> dict:
+    """Restore state saved by :func:`save_checkpoint`; returns header.
+
+    Raises :class:`ValueError` when the checkpoint does not match the
+    network's architecture (variant, dims, table shapes).
+    """
+    path = Path(path)
+    if not path.exists() and path.with_suffix(".npz").exists():
+        path = path.with_suffix(".npz")
+    with np.load(path) as archive:
+        header = json.loads(bytes(archive["__header__"]).decode())
+        if header["variant"] != network.variant:
+            raise ValueError(
+                f"checkpoint variant {header['variant']!r} != "
+                f"network variant {network.variant!r}")
+        if header["embedding_dim"] != network.embedding_dim:
+            raise ValueError("embedding dimension mismatch")
+        for name, (value, _grad) in network.parameters().items():
+            stored = archive[f"dense/{name}"]
+            if stored.shape != value.shape:
+                raise ValueError(f"shape mismatch for {name}")
+            value[:] = stored
+        for field_name, table in network.embeddings.items():
+            stored = archive[f"table/{field_name}"]
+            if stored.shape != table.table.shape:
+                raise ValueError(
+                    f"table shape mismatch for {field_name}")
+            table.table[:] = stored
+    return header
+
+
+def checkpoint_bytes(network: WdlNetwork) -> int:
+    """Approximate serialized size of a checkpoint (bytes)."""
+    total = 0
+    for _name, (value, _grad) in network.parameters().items():
+        total += value.nbytes
+    for table in network.embeddings.values():
+        total += table.table.nbytes
+    return total

@@ -1,0 +1,116 @@
+"""Unit tests for the baseline frameworks and PicassoExecutor."""
+
+import pytest
+
+from repro.baselines import (
+    Framework,
+    FrameworkProfile,
+    HOROVOD,
+    PYTORCH,
+    TF_PS,
+    XDL,
+    framework_by_name,
+)
+from repro.core import PicassoConfig, PicassoExecutor, simulate_plan
+from repro.data import criteo
+from repro.hardware import eflops_cluster, gn6e_cluster
+from repro.models import dlrm
+
+
+@pytest.fixture(scope="module")
+def model():
+    return dlrm(criteo(0.001))
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return eflops_cluster(4)
+
+
+class TestProfiles:
+    def test_registry(self):
+        for name in ("TF-PS", "PyTorch", "Horovod", "XDL"):
+            assert framework_by_name(name).name == name
+
+    def test_unknown_framework(self):
+        with pytest.raises(KeyError):
+            framework_by_name("MXNet")
+
+    def test_tf_ps_profile(self):
+        assert TF_PS.strategy == "ps-async"
+        assert not TF_PS.uses_nvlink
+        assert not TF_PS.io_overlap
+
+    def test_collective_profiles(self):
+        assert PYTORCH.strategy == "mp"
+        assert HOROVOD.strategy == "dp"
+        assert XDL.strategy == "ps-sync"
+
+
+class TestFrameworkPlans:
+    def test_plan_is_unoptimized(self, model, cluster):
+        plan = framework_by_name("PyTorch").plan(model, cluster, 1024)
+        assert not plan.fuse_kernels
+        assert plan.micro_batches == 1
+        assert plan.cache_hit_ratio is None
+        assert len(plan.groups) == model.dataset.num_fields
+
+    def test_tf_ps_disables_nvlink(self, model):
+        plan = framework_by_name("TF-PS").plan(model, gn6e_cluster(1),
+                                               1024)
+        assert plan.cluster.node.nvlink is None
+
+    def test_pytorch_keeps_nvlink(self, model):
+        plan = framework_by_name("PyTorch").plan(model, gn6e_cluster(1),
+                                                 1024)
+        assert plan.cluster.node.nvlink is not None
+
+
+class TestRunReports:
+    def test_report_fields(self, model, cluster):
+        report = framework_by_name("PyTorch").run(model, cluster, 1024,
+                                                  iterations=2)
+        assert report.ips > 0
+        assert 0 <= report.sm_utilization <= 1
+        assert report.op_count > 0
+        assert report.micro_ops > 0
+        assert "compute" in report.breakdown
+
+    def test_gpu_core_hours(self, model, cluster):
+        report = framework_by_name("PyTorch").run(model, cluster, 1024,
+                                                  iterations=2)
+        hours = report.gpu_core_hours(instances=3600 * report.ips)
+        assert hours == pytest.approx(1.0, rel=0.01)
+
+    def test_iterations_validation(self, model, cluster):
+        plan = framework_by_name("PyTorch").plan(model, cluster, 1024)
+        with pytest.raises(ValueError):
+            simulate_plan(plan, iterations=0)
+
+
+class TestPicassoExecutor:
+    def test_run_produces_report(self, model, cluster):
+        executor = PicassoExecutor(model, cluster)
+        report = executor.run(batch_size=2048, iterations=2)
+        assert report.ips > 0
+        assert report.packed_embeddings < model.dataset.num_fields
+
+    def test_executor_beats_its_base(self, model, cluster):
+        full = PicassoExecutor(model, cluster).run(2048, iterations=2)
+        base = PicassoExecutor(model, cluster,
+                               PicassoConfig.base()).run(2048,
+                                                         iterations=2)
+        assert full.ips > base.ips
+
+    def test_plan_exposed(self, model, cluster):
+        executor = PicassoExecutor(model, cluster)
+        plan = executor.plan(batch_size=2048)
+        assert plan.strategy == "hybrid"
+        assert plan.io_compression < 1.0
+
+    def test_ablation_configs_change_plans(self, model, cluster):
+        packed = PicassoExecutor(model, cluster).plan(2048)
+        unpacked = PicassoExecutor(
+            model, cluster,
+            PicassoConfig().without("packing")).plan(2048)
+        assert len(packed.groups) < len(unpacked.groups)

@@ -1,0 +1,114 @@
+"""Tests for checkpoint save/restore."""
+
+import numpy as np
+import pytest
+
+from repro.data.labeled import LabeledBatchIterator
+from repro.data.spec import DatasetSpec, FieldSpec
+from repro.nn.network import WdlNetwork
+from repro.nn.optim import Adagrad
+from repro.training.checkpoint import (
+    checkpoint_bytes,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+
+def _dataset():
+    return DatasetSpec(name="d", num_numeric=2, fields=(
+        FieldSpec(name="a", vocab_size=500, embedding_dim=8),
+        FieldSpec(name="b", vocab_size=500, embedding_dim=8),
+    ))
+
+
+def _trained_network(steps=5, seed=0):
+    network = WdlNetwork(_dataset(), variant="dlrm", embedding_dim=8,
+                         mlp_layers=(16,), seed=seed)
+    iterator = LabeledBatchIterator(_dataset(), 64, seed=seed)
+    optimizer = Adagrad(lr=0.05)
+    for batch in iterator.batches(steps):
+        network.train_step(batch, optimizer)
+    return network
+
+
+class TestRoundTrip:
+    def test_save_load_restores_exact_state(self, tmp_path):
+        trained = _trained_network()
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(trained, path, step=5)
+
+        fresh = WdlNetwork(_dataset(), variant="dlrm", embedding_dim=8,
+                           mlp_layers=(16,), seed=99)
+        header = load_checkpoint(fresh, path)
+        assert header["step"] == 5
+        for name, (value, _grad) in trained.parameters().items():
+            other = dict(fresh.parameters())[name][0]
+            assert np.array_equal(value, other), name
+        for field_name, table in trained.embeddings.items():
+            assert np.array_equal(table.table,
+                                  fresh.embeddings[field_name].table)
+
+    def test_resumed_training_continues_trajectory(self, tmp_path):
+        """Save at step 5, resume, and match an uninterrupted run."""
+        straight = _trained_network(steps=10, seed=0)
+
+        first_half = _trained_network(steps=5, seed=0)
+        path = tmp_path / "mid.npz"
+        save_checkpoint(first_half, path, step=5)
+        resumed = WdlNetwork(_dataset(), variant="dlrm",
+                             embedding_dim=8, mlp_layers=(16,), seed=0)
+        load_checkpoint(resumed, path)
+        # Fresh optimizer state differs (Adagrad accumulators are not
+        # checkpointed here), so compare predictions loosely after the
+        # same remaining data.
+        iterator = LabeledBatchIterator(_dataset(), 64, seed=0)
+        optimizer = Adagrad(lr=0.05)
+        batches = list(iterator.batches(10))
+        for batch in batches[5:]:
+            resumed.train_step(batch, optimizer)
+        probe = batches[0]
+        assert np.abs(straight.predict(probe)
+                      - resumed.predict(probe)).mean() < 0.15
+
+    def test_metadata_round_trip(self, tmp_path):
+        network = _trained_network(steps=1)
+        path = tmp_path / "meta.npz"
+        save_checkpoint(network, path, step=1,
+                        metadata={"auc": 0.75})
+        header = load_checkpoint(network, path)
+        assert header["metadata"]["auc"] == 0.75
+
+    def test_suffix_added_when_missing(self, tmp_path):
+        network = _trained_network(steps=1)
+        save_checkpoint(network, tmp_path / "ckpt", step=1)
+        header = load_checkpoint(network, tmp_path / "ckpt")
+        assert header["step"] == 1
+
+
+class TestValidation:
+    def test_variant_mismatch(self, tmp_path):
+        network = _trained_network(steps=1)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(network, path)
+        other = WdlNetwork(_dataset(), variant="deepfm",
+                           embedding_dim=8, mlp_layers=(16,))
+        with pytest.raises(ValueError):
+            load_checkpoint(other, path)
+
+    def test_dim_mismatch(self, tmp_path):
+        network = _trained_network(steps=1)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(network, path)
+        other = WdlNetwork(_dataset(), variant="dlrm", embedding_dim=4,
+                           mlp_layers=(16,))
+        with pytest.raises(ValueError):
+            load_checkpoint(other, path)
+
+    def test_negative_step(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_checkpoint(_trained_network(steps=1),
+                            tmp_path / "x.npz", step=-1)
+
+    def test_checkpoint_bytes_positive(self):
+        network = _trained_network(steps=1)
+        assert checkpoint_bytes(network) > 0

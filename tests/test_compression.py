@@ -1,0 +1,124 @@
+"""Tests for quantized gradient communication."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.compression import (
+    ErrorFeedbackCompressor,
+    QuantizedTensor,
+    compressed_allreduce_mean,
+    compression_ratio,
+    dequantize,
+    quantize,
+)
+
+
+class TestQuantize:
+    def test_roundtrip_error_bounded_by_one_level(self):
+        rng = np.random.default_rng(0)
+        tensor = rng.standard_normal((32, 16))
+        quantized = quantize(tensor, bits=8, rng=rng)
+        restored = dequantize(quantized)
+        assert np.abs(restored - tensor).max() <= quantized.scale + 1e-12
+
+    def test_more_bits_less_error(self):
+        rng = np.random.default_rng(1)
+        tensor = rng.standard_normal(1000)
+        coarse = dequantize(quantize(tensor, bits=4,
+                                     rng=np.random.default_rng(2)))
+        fine = dequantize(quantize(tensor, bits=12,
+                                   rng=np.random.default_rng(2)))
+        assert np.abs(fine - tensor).mean() \
+            < np.abs(coarse - tensor).mean()
+
+    def test_stochastic_rounding_unbiased(self):
+        tensor = np.full(20_000, 0.3)
+        quantized = quantize(tensor * 10, bits=2,
+                             rng=np.random.default_rng(3))
+        # With min=max the span is zero... use a spanning tensor.
+        tensor = np.concatenate([np.zeros(1), np.full(50_000, 0.37),
+                                 np.ones(1)])
+        restored = dequantize(quantize(tensor, bits=3,
+                                       rng=np.random.default_rng(4)))
+        assert restored[1:-1].mean() == pytest.approx(0.37, abs=0.01)
+
+    def test_constant_tensor(self):
+        quantized = quantize(np.full(10, 5.0), bits=8)
+        assert np.allclose(dequantize(quantized), 5.0)
+
+    def test_shape_preserved(self):
+        quantized = quantize(np.zeros((3, 4, 5)), bits=8)
+        assert dequantize(quantized).shape == (3, 4, 5)
+
+    def test_dtype_by_bits(self):
+        assert quantize(np.ones(4), bits=8).levels.dtype == np.uint8
+        assert quantize(np.ones(4), bits=12).levels.dtype == np.uint16
+
+    def test_bits_validation(self):
+        with pytest.raises(ValueError):
+            quantize(np.ones(4), bits=0)
+        with pytest.raises(ValueError):
+            quantize(np.ones(4), bits=17)
+
+    def test_compression_ratio(self):
+        quantized = quantize(np.ones(1000) * np.arange(1000), bits=8)
+        assert compression_ratio(quantized) > 3.0
+
+
+class TestErrorFeedback:
+    def test_residual_recorded(self):
+        compressor = ErrorFeedbackCompressor(bits=2)
+        gradient = np.random.default_rng(0).standard_normal(100)
+        compressor.compress("w", gradient)
+        assert compressor.residual_norm("w") > 0.0
+
+    def test_error_feedback_preserves_sum(self):
+        """Sum of transmitted values tracks the sum of true gradients."""
+        compressor = ErrorFeedbackCompressor(bits=4, seed=1)
+        rng = np.random.default_rng(2)
+        true_total = np.zeros(50)
+        sent_total = np.zeros(50)
+        for _round in range(200):
+            gradient = rng.standard_normal(50) * 0.1
+            true_total += gradient
+            sent_total += dequantize(compressor.compress("w", gradient))
+        # EF guarantees bounded drift: the residual is the exact gap.
+        gap = np.abs(true_total - sent_total).max()
+        assert gap <= compressor.residual_norm("w") + 1e-9
+
+    def test_reset(self):
+        compressor = ErrorFeedbackCompressor(bits=2)
+        compressor.compress("w", np.ones(10))
+        compressor.reset()
+        assert compressor.residual_norm("w") == 0.0
+
+    def test_independent_tensors(self):
+        compressor = ErrorFeedbackCompressor(bits=2)
+        compressor.compress("a", np.ones(10))
+        assert compressor.residual_norm("b") == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ErrorFeedbackCompressor(bits=0)
+
+
+class TestCompressedCollective:
+    def test_approximates_exact_mean(self):
+        rng = np.random.default_rng(5)
+        arrays = [rng.standard_normal(200) for _worker in range(4)]
+        exact = np.mean(np.stack(arrays), axis=0)
+        lossy = compressed_allreduce_mean(arrays, bits=8)
+        assert np.abs(lossy - exact).max() < 0.05
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compressed_allreduce_mean([])
+
+    def test_lower_bits_more_distortion(self):
+        rng = np.random.default_rng(6)
+        arrays = [rng.standard_normal(500) for _worker in range(2)]
+        exact = np.mean(np.stack(arrays), axis=0)
+        coarse = compressed_allreduce_mean(arrays, bits=2)
+        fine = compressed_allreduce_mean(arrays, bits=10)
+        assert np.abs(fine - exact).mean() \
+            < np.abs(coarse - exact).mean()

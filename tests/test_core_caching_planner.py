@@ -1,0 +1,138 @@
+"""Unit tests for cache planning, PicassoConfig and the planner."""
+
+import pytest
+
+from repro.core import PicassoConfig, PicassoPlanner
+from repro.core.caching import batch_size_penalty, expected_hit_ratio
+from repro.data import criteo, product1
+from repro.hardware import eflops_cluster
+from repro.models import dlrm, wide_deep
+
+_GIB = float(1 << 30)
+
+
+class TestExpectedHitRatio:
+    def test_monotone_in_cache_size(self):
+        dataset = criteo(0.001)
+        small = expected_hit_ratio(dataset, 0.01 * _GIB, 2048)
+        large = expected_hit_ratio(dataset, 0.5 * _GIB, 2048)
+        assert large.hit_ratio >= small.hit_ratio
+
+    def test_zero_cache_zero_hits(self):
+        plan = expected_hit_ratio(criteo(0.001), 0.0, 2048)
+        assert plan.hit_ratio == 0.0
+
+    def test_huge_cache_near_full_hits(self):
+        dataset = criteo(0.0001)
+        plan = expected_hit_ratio(dataset, 100 * _GIB, 2048)
+        assert plan.hit_ratio > 0.95
+
+    def test_rows_bounded_by_vocab(self):
+        dataset = criteo(0.0001)
+        plan = expected_hit_ratio(dataset, 100 * _GIB, 2048)
+        for spec in dataset.fields:
+            assert plan.rows_per_field[spec.name] <= spec.vocab_size
+
+    def test_bytes_used_within_budget(self):
+        plan = expected_hit_ratio(criteo(0.001), 0.1 * _GIB, 2048)
+        assert plan.hot_bytes_used <= 0.1 * _GIB * 1.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_hit_ratio(criteo(0.001), -1.0, 2048)
+        with pytest.raises(ValueError):
+            expected_hit_ratio(criteo(0.001), 1.0, 0)
+
+
+class TestBatchPenalty:
+    def test_no_cache_no_penalty(self):
+        assert batch_size_penalty(0.0, 16 * _GIB) == 1.0
+
+    def test_bigger_cache_bigger_penalty(self):
+        assert batch_size_penalty(4 * _GIB, 16 * _GIB) \
+            < batch_size_penalty(1 * _GIB, 16 * _GIB)
+
+    def test_floor(self):
+        assert batch_size_penalty(100 * _GIB, 1 * _GIB) >= 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            batch_size_penalty(1.0, 0.0)
+
+
+class TestPicassoConfig:
+    def test_defaults_enable_everything(self):
+        config = PicassoConfig()
+        assert config.enable_packing
+        assert config.enable_interleaving
+        assert config.enable_caching
+
+    def test_base_disables_everything(self):
+        config = PicassoConfig.base()
+        assert not config.enable_packing
+        assert not config.enable_interleaving
+        assert not config.enable_caching
+
+    def test_without(self):
+        config = PicassoConfig().without("interleaving")
+        assert config.enable_packing
+        assert not config.enable_interleaving
+
+    def test_without_unknown(self):
+        with pytest.raises(ValueError):
+            PicassoConfig().without("sorcery")
+
+    def test_config_is_frozen(self):
+        with pytest.raises(AttributeError):
+            PicassoConfig().enable_packing = False
+
+
+class TestPlanner:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return wide_deep(product1(0.001))
+
+    def test_full_plan(self, model):
+        planner = PicassoPlanner()
+        plan = planner.plan(model, eflops_cluster(4), 2048)
+        assert plan.strategy == "hybrid"
+        assert plan.fuse_kernels
+        assert plan.fine_grained_deps
+        assert plan.micro_batches >= 2
+        assert plan.interleave_sets >= 2
+        assert plan.cache_hit_ratio is not None
+        assert len(plan.groups) < model.dataset.num_fields
+
+    def test_base_plan(self, model):
+        planner = PicassoPlanner(PicassoConfig.base())
+        plan = planner.plan(model, eflops_cluster(4), 2048)
+        assert plan.strategy == "hybrid"
+        assert not plan.fuse_kernels
+        assert plan.micro_batches == 1
+        assert plan.interleave_sets == 1
+        assert plan.cache_hit_ratio is None
+        assert len(plan.groups) == model.dataset.num_fields
+
+    def test_no_packing_keeps_per_field_groups(self, model):
+        planner = PicassoPlanner(PicassoConfig().without("packing"))
+        plan = planner.plan(model, eflops_cluster(4), 2048)
+        assert len(plan.groups) == model.dataset.num_fields
+        assert plan.micro_batches >= 2  # interleaving still on
+
+    def test_explicit_knobs_respected(self, model):
+        config = PicassoConfig(interleave_sets=5, micro_batches=2)
+        plan = PicassoPlanner(config).plan(model, eflops_cluster(4), 2048)
+        assert plan.interleave_sets == 5
+        assert plan.micro_batches == 2
+
+    def test_excluded_fields_propagate(self, model):
+        config = PicassoConfig(excluded_fields=("f0",))
+        plan = PicassoPlanner(config).plan(model, eflops_cluster(4), 2048)
+        assert any(group.excluded for group in plan.groups)
+
+    def test_cache_staleness_discount(self, model):
+        from repro.core.caching import expected_hit_ratio as ehr
+        config = PicassoConfig()
+        plan = PicassoPlanner(config).plan(model, eflops_cluster(4), 2048)
+        oracle = ehr(model.dataset, config.hot_storage_bytes, 2048)
+        assert plan.cache_hit_ratio < oracle.hit_ratio

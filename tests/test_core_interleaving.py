@@ -1,0 +1,104 @@
+"""Unit tests for interleaving (Eqs. 2 and 3)."""
+
+import pytest
+
+from repro.core.interleaving import (
+    assign_interleave_sets,
+    estimate_interleave_sets,
+    estimate_micro_batches,
+)
+from repro.core.packing import calc_vparam, pack_by_dimension
+from repro.data import criteo, product2
+from repro.graph.builder import (
+    ExecutionPlan,
+    WorkloadStats,
+    groups_per_field,
+)
+from repro.hardware import eflops_cluster
+from repro.models import dlrm, can
+
+
+def _plan(batch=4096, micro=1):
+    model = dlrm(criteo(0.001))
+    return ExecutionPlan(model=model, cluster=eflops_cluster(4),
+                         batch_size=batch, strategy="hybrid",
+                         groups=groups_per_field(model.dataset),
+                         micro_batches=micro)
+
+
+class TestMicroBatches:
+    def test_small_batch_needs_no_slicing(self):
+        assert estimate_micro_batches(_plan(batch=64), 16 * (1 << 30)) == 1
+
+    def test_tight_memory_forces_slicing(self):
+        slices = estimate_micro_batches(_plan(batch=65_536), 4 * (1 << 20))
+        assert slices > 1
+
+    def test_clamped_to_eight(self):
+        slices = estimate_micro_batches(_plan(batch=1_000_000), 1 << 20)
+        assert slices <= 8
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ValueError):
+            estimate_micro_batches(_plan(), 0)
+
+
+class TestInterleaveSetEstimate:
+    def test_single_group_no_interleaving(self):
+        groups = groups_per_field(criteo(0.001))[:1]
+        assert estimate_interleave_sets(groups, 1024) == 1
+
+    def test_default_heuristic_bounded(self):
+        groups = pack_by_dimension(product2(0.001), 4096)
+        sets = estimate_interleave_sets(groups, 4096)
+        assert 1 <= sets <= 7
+
+    def test_capacity_drives_set_count(self):
+        groups = pack_by_dimension(product2(0.001), 4096)
+        stats = WorkloadStats()
+        total = sum(calc_vparam(list(g.fields), 4096, stats)
+                    * g.shard_fraction for g in groups)
+        sets = estimate_interleave_sets(groups, 4096, stats,
+                                        capacity=total / 3)
+        assert sets == 3
+
+    def test_capacity_validation(self):
+        groups = pack_by_dimension(product2(0.001), 4096)
+        with pytest.raises(ValueError):
+            estimate_interleave_sets(groups, 4096, capacity=0.0)
+
+
+class TestAssignment:
+    def test_every_set_used_when_enough_groups(self):
+        groups = groups_per_field(criteo(0.001))
+        assigned = assign_interleave_sets(groups, 4, 1024)
+        used = {group.interleave_set for group in assigned}
+        assert used == {0, 1, 2, 3}
+
+    def test_assignment_partitions_groups(self):
+        groups = groups_per_field(criteo(0.001))
+        assigned = assign_interleave_sets(groups, 3, 1024)
+        assert len(assigned) == len(groups)
+        assert {g.name for g in assigned} == {g.name for g in groups}
+
+    def test_balanced_by_volume(self):
+        groups = groups_per_field(criteo(0.001))
+        stats = WorkloadStats()
+        assigned = assign_interleave_sets(groups, 2, 1024, stats)
+        loads = {0: 0.0, 1: 0.0}
+        for group in assigned:
+            loads[group.interleave_set] += calc_vparam(
+                list(group.fields), 1024, stats)
+        ratio = max(loads.values()) / max(1e-9, min(loads.values()))
+        assert ratio < 1.5
+
+    def test_excluded_groups_pass_through(self):
+        groups = pack_by_dimension(criteo(0.001), 1024,
+                                   excluded_fields=("cat_0",))
+        assigned = assign_interleave_sets(groups, 2, 1024)
+        excluded = [g for g in assigned if g.excluded]
+        assert len(excluded) == 1
+
+    def test_rejects_zero_sets(self):
+        with pytest.raises(ValueError):
+            assign_interleave_sets([], 0, 1024)

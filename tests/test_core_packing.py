@@ -1,0 +1,120 @@
+"""Unit tests for D-Packing (Eq. 1)."""
+
+import pytest
+
+from repro.core.packing import (
+    calc_vparam,
+    pack_by_dimension,
+    packed_embedding_count,
+)
+from repro.data import criteo, product1, product2
+from repro.data.spec import DatasetSpec, FieldSpec
+from repro.graph.builder import WorkloadStats
+
+
+def _dataset(dims):
+    return DatasetSpec(name="d", fields=tuple(
+        FieldSpec(name=f"f{index}", vocab_size=10_000, embedding_dim=dim)
+        for index, dim in enumerate(dims)))
+
+
+class TestCalcVParam:
+    def test_proportional_to_dim(self):
+        narrow = calc_vparam([FieldSpec(name="a", vocab_size=100,
+                                        embedding_dim=8)], 100)
+        wide = calc_vparam([FieldSpec(name="b", vocab_size=100,
+                                      embedding_dim=16)], 100)
+        assert wide == pytest.approx(2 * narrow)
+
+    def test_proportional_to_sequence_length(self):
+        scalar = calc_vparam([FieldSpec(name="a", vocab_size=100,
+                                        embedding_dim=8)], 100)
+        seq = calc_vparam([FieldSpec(name="b", vocab_size=100,
+                                     embedding_dim=8, seq_length=10)],
+                          100)
+        assert seq == pytest.approx(10 * scalar)
+
+    def test_stats_deduplicate(self):
+        field = FieldSpec(name="a", vocab_size=10, embedding_dim=8,
+                          zipf_exponent=1.3)
+        raw = calc_vparam([field], 1000)
+        deduped = calc_vparam([field], 1000, WorkloadStats())
+        assert deduped < raw
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ValueError):
+            calc_vparam([], 0)
+
+
+class TestPackByDimension:
+    def test_fields_partitioned_exactly_once(self):
+        dataset = product1(0.001)
+        groups = pack_by_dimension(dataset, 1000)
+        names = [spec.name for group in groups for spec in group.fields]
+        # Sharded packs repeat field sets with fractional shares, so
+        # count distinct names weighted by shard fractions instead.
+        weights = {}
+        for group in groups:
+            for spec in group.fields:
+                weights[spec.name] = weights.get(spec.name, 0.0) \
+                    + group.shard_fraction
+        full_fields = {spec.name for spec in dataset.fields}
+        covered = {name for name, weight in weights.items()
+                   if weight > 0}
+        assert covered == full_fields
+
+    def test_groups_share_dimension(self):
+        groups = pack_by_dimension(_dataset([8, 8, 16, 16, 16]), 1000)
+        for group in groups:
+            dims = {spec.embedding_dim for spec in group.fields}
+            assert len(dims) == 1
+
+    def test_packing_collapses_fields(self):
+        dataset = product1(0.001)
+        groups = pack_by_dimension(dataset, 1000)
+        assert len(groups) < dataset.num_fields / 4
+
+    def test_uniform_dim_dataset_packs_small(self):
+        dataset = criteo(0.001)  # all dim 128
+        count = packed_embedding_count(dataset, 1000)
+        assert count <= 4
+
+    def test_heavy_pack_is_sharded(self):
+        # One huge-dim pack vs one tiny pack: the huge one must split.
+        dataset = _dataset([4, 4, 4, 4, 64, 64, 64, 64])
+        groups = pack_by_dimension(dataset, 1000)
+        wide_groups = [g for g in groups if g.embedding_dim == 64]
+        assert len(wide_groups) > 1
+
+    def test_excluded_fields_get_own_groups(self):
+        dataset = _dataset([8, 8, 8])
+        groups = pack_by_dimension(dataset, 1000,
+                                   excluded_fields=("f0",))
+        excluded = [g for g in groups if g.excluded]
+        assert len(excluded) == 1
+        assert excluded[0].fields[0].name == "f0"
+        packed = [g for g in groups if not g.excluded]
+        assert sum(len(g.fields) for g in packed) == 2
+
+    def test_production_counts_in_paper_range(self):
+        # Paper Tab. V: 16 / 19 / 11 packed embeddings; we assert the
+        # same order of magnitude.
+        for dataset_fn in (product1, product2):
+            count = packed_embedding_count(dataset_fn(0.001), 10_000)
+            assert 3 <= count <= 40
+
+
+class TestShardSplitting:
+    def test_fractional_split_when_few_fields(self):
+        dataset = _dataset([4, 128])
+        groups = pack_by_dimension(dataset, 1000)
+        wide = [g for g in groups if g.embedding_dim == 128]
+        assert len(wide) >= 2
+        assert sum(g.shard_fraction for g in wide) == pytest.approx(1.0)
+
+    def test_field_split_balances_weight(self):
+        dims = [4] + [64] * 8
+        groups = pack_by_dimension(_dataset(dims), 1000)
+        wide = [g for g in groups if g.embedding_dim == 64]
+        sizes = sorted(len(g.fields) for g in wide)
+        assert sizes[-1] - sizes[0] <= 1  # balanced deal

@@ -1,0 +1,158 @@
+"""Tests for the Criteo TSV reader/writer."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.data.criteo_format import (
+    NUM_CATEGORICAL_FEATURES,
+    NUM_INTEGER_FEATURES,
+    CriteoRecord,
+    criteo_dataset_spec,
+    format_line,
+    parse_line,
+    read_batches,
+    records_to_batch,
+    write_synthetic_tsv,
+)
+from repro.nn.network import WdlNetwork
+from repro.nn.optim import Adagrad
+
+
+def _line(label=1, integer="5", token="a1b2c3d4"):
+    columns = [str(label)] + [integer] * NUM_INTEGER_FEATURES \
+        + [token] * NUM_CATEGORICAL_FEATURES
+    return "\t".join(columns)
+
+
+class TestParsing:
+    def test_parse_roundtrip(self):
+        record = parse_line(_line())
+        assert record.label == 1
+        assert record.integers == [5] * NUM_INTEGER_FEATURES
+        assert record.categoricals == ["a1b2c3d4"] \
+            * NUM_CATEGORICAL_FEATURES
+
+    def test_missing_fields_become_none(self):
+        record = parse_line(_line(integer="", token=""))
+        assert record.integers[0] is None
+        assert record.categoricals[0] is None
+
+    def test_wrong_column_count(self):
+        with pytest.raises(ValueError):
+            parse_line("1\t2\t3")
+
+    def test_bad_label(self):
+        with pytest.raises(ValueError):
+            parse_line(_line(label=7))
+
+    def test_format_inverts_parse(self):
+        line = _line(integer="", token="deadbeef")
+        assert format_line(parse_line(line)) == line
+
+    def test_format_validates_lengths(self):
+        with pytest.raises(ValueError):
+            format_line(CriteoRecord(label=0, integers=[1],
+                                     categoricals=[]))
+
+
+class TestBatchConversion:
+    def test_batch_shapes(self):
+        records = [parse_line(_line()) for _row in range(8)]
+        batch = records_to_batch(records)
+        assert batch.batch_size == 8
+        assert batch.numeric.shape == (8, NUM_INTEGER_FEATURES)
+        assert len(batch.sparse) == NUM_CATEGORICAL_FEATURES
+        assert batch.labels.shape == (8,)
+
+    def test_log_transform(self):
+        records = [parse_line(_line(integer="0"))]
+        batch = records_to_batch(records)
+        assert batch.numeric[0, 0] == pytest.approx(np.log1p(1))
+
+    def test_missing_integer_is_zero(self):
+        records = [parse_line(_line(integer=""))]
+        batch = records_to_batch(records)
+        assert batch.numeric[0, 0] == 0.0
+
+    def test_ids_within_vocab(self):
+        dataset = criteo_dataset_spec(vocab_size=1000)
+        records = [parse_line(_line(token=f"{value:08x}"))
+                   for value in (3, 99999, 2**31)]
+        batch = records_to_batch(records, dataset)
+        for ids in batch.sparse.values():
+            assert ids.max() < 1000
+
+    def test_same_token_same_id(self):
+        records = [parse_line(_line(token="cafef00d"))
+                   for _row in range(2)]
+        batch = records_to_batch(records)
+        ids = batch.sparse["C1"]
+        assert ids[0] == ids[1]
+
+    def test_non_hex_tokens_hash(self):
+        line = _line(token="cat_food")
+        batch = records_to_batch([parse_line(line)])
+        assert batch.sparse["C1"][0] >= 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            records_to_batch([])
+
+
+class TestStreaming:
+    def test_read_batches_counts(self):
+        stream = io.StringIO()
+        write_synthetic_tsv(stream, rows=25, seed=0)
+        stream.seek(0)
+        batches = list(read_batches(stream, batch_size=10))
+        assert [batch.batch_size for batch in batches] == [10, 10, 5]
+
+    def test_blank_lines_skipped(self):
+        stream = io.StringIO(_line() + "\n\n" + _line() + "\n")
+        batches = list(read_batches(stream, batch_size=4))
+        assert batches[0].batch_size == 2
+
+    def test_malformed_line_raises(self):
+        stream = io.StringIO("not a criteo line\n")
+        with pytest.raises(ValueError):
+            list(read_batches(stream, batch_size=1))
+
+    def test_batch_size_validation(self):
+        with pytest.raises(ValueError):
+            list(read_batches(io.StringIO(""), batch_size=0))
+
+    def test_synthetic_writer_params(self):
+        stream = io.StringIO()
+        write_synthetic_tsv(stream, rows=200, seed=1,
+                            positive_rate=0.5, missing_rate=0.0)
+        stream.seek(0)
+        records = [parse_line(line) for line in stream]
+        labels = [record.label for record in records]
+        assert 0.35 < np.mean(labels) < 0.65
+        assert all(value is not None
+                   for record in records
+                   for value in record.integers)
+
+    def test_writer_validation(self):
+        with pytest.raises(ValueError):
+            write_synthetic_tsv(io.StringIO(), rows=-1)
+        with pytest.raises(ValueError):
+            write_synthetic_tsv(io.StringIO(), rows=1, missing_rate=1.0)
+
+
+class TestEndToEndTraining:
+    def test_network_trains_on_tsv_stream(self):
+        """The TSV path feeds the same training code as synthetic data."""
+        dataset = criteo_dataset_spec(vocab_size=5000, embedding_dim=8)
+        network = WdlNetwork(dataset, variant="dlrm", embedding_dim=8,
+                             mlp_layers=(16,), seed=0)
+        optimizer = Adagrad(lr=0.05)
+        stream = io.StringIO()
+        write_synthetic_tsv(stream, rows=256, seed=3)
+        stream.seek(0)
+        losses = [network.train_step(batch, optimizer)
+                  for batch in read_batches(stream, batch_size=64)]
+        assert len(losses) == 4
+        assert all(np.isfinite(loss) for loss in losses)

@@ -1,0 +1,123 @@
+"""Unit tests for batch construction and the labeled generator."""
+
+import numpy as np
+import pytest
+
+from repro.data import BatchIterator, batch_wire_bytes, criteo
+from repro.data.labeled import LabeledBatchIterator, latent_effect
+from repro.data.spec import DatasetSpec, FieldSpec
+
+
+def _small_dataset():
+    return DatasetSpec(
+        name="small", num_numeric=3,
+        fields=(
+            FieldSpec(name="a", vocab_size=100, embedding_dim=4),
+            FieldSpec(name="b", vocab_size=200, embedding_dim=4,
+                      seq_length=5),
+        ))
+
+
+class TestBatchIterator:
+    def test_batch_shapes(self):
+        iterator = BatchIterator(_small_dataset(), batch_size=16)
+        batch = iterator.next_batch()
+        assert batch.sparse["a"].shape == (16,)
+        assert batch.sparse["b"].shape == (16 * 5,)
+        assert batch.numeric.shape == (16, 3)
+        assert batch.labels is None
+
+    def test_total_ids(self):
+        batch = BatchIterator(_small_dataset(), 16).next_batch()
+        assert batch.total_ids == 16 + 16 * 5
+
+    def test_iteration_protocol(self):
+        iterator = BatchIterator(_small_dataset(), 4)
+        batch = next(iter(iterator))
+        assert batch.batch_size == 4
+
+    def test_batches_generator(self):
+        iterator = BatchIterator(_small_dataset(), 4)
+        assert len(list(iterator.batches(3))) == 3
+
+    def test_deterministic_given_seed(self):
+        one = BatchIterator(_small_dataset(), 8, seed=3).next_batch()
+        two = BatchIterator(_small_dataset(), 8, seed=3).next_batch()
+        assert np.array_equal(one.sparse["a"], two.sparse["a"])
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            BatchIterator(_small_dataset(), 0)
+
+
+class TestWireBytes:
+    def test_formula(self):
+        dataset = _small_dataset()
+        # ids: (1 + 5) * 8B, numeric 3*4B, labels 4B per instance.
+        expected = 16 * (6 * 8 + 3 * 4 + 4)
+        assert batch_wire_bytes(dataset, 16) == expected
+
+    def test_scales_linearly(self):
+        dataset = criteo(0.001)
+        assert batch_wire_bytes(dataset, 200) \
+            == pytest.approx(2 * batch_wire_bytes(dataset, 100))
+
+
+class TestLatentEffect:
+    def test_deterministic(self):
+        ids = np.arange(100)
+        assert np.array_equal(latent_effect(ids, 7), latent_effect(ids, 7))
+
+    def test_salt_changes_effects(self):
+        ids = np.arange(100)
+        assert not np.array_equal(latent_effect(ids, 1),
+                                  latent_effect(ids, 2))
+
+    def test_roughly_centered(self):
+        effects = latent_effect(np.arange(10_000), 3)
+        assert abs(effects.mean()) < 0.1
+        assert 0.5 < effects.std() < 1.5
+
+
+class TestLabeledIterator:
+    def test_labels_present_and_binary(self):
+        iterator = LabeledBatchIterator(_small_dataset(), 64, seed=0)
+        batch = iterator.next_batch()
+        assert batch.labels is not None
+        assert set(np.unique(batch.labels)) <= {0.0, 1.0}
+
+    def test_labels_depend_on_features(self):
+        """Labels must correlate with the hidden logistic model."""
+        dataset = _small_dataset()
+        iterator = LabeledBatchIterator(dataset, 4096, noise_scale=0.2,
+                                        seed=0)
+        batch = iterator.next_batch()
+        effects = latent_effect(batch.sparse["a"], 1)
+        positive_mean = effects[batch.labels > 0.5].mean()
+        negative_mean = effects[batch.labels < 0.5].mean()
+        assert positive_mean > negative_mean
+
+    def test_noise_reduces_separability(self):
+        dataset = _small_dataset()
+        crisp = LabeledBatchIterator(dataset, 4096, noise_scale=0.1,
+                                     seed=0).next_batch()
+        noisy = LabeledBatchIterator(dataset, 4096, noise_scale=5.0,
+                                     seed=0).next_batch()
+
+        def separation(batch):
+            effects = latent_effect(batch.sparse["a"], 1)
+            return (effects[batch.labels > 0.5].mean()
+                    - effects[batch.labels < 0.5].mean())
+
+        assert separation(crisp) > separation(noisy)
+
+    def test_label_rate_reasonable(self):
+        iterator = LabeledBatchIterator(_small_dataset(), 4096, seed=0)
+        batch = iterator.next_batch()
+        assert 0.2 < batch.labels.mean() < 0.8
+
+    def test_batches_generator(self):
+        iterator = LabeledBatchIterator(_small_dataset(), 32, seed=0)
+        batches = list(iterator.batches(2))
+        assert len(batches) == 2
+        assert all(batch.labels is not None for batch in batches)

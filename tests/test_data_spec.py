@@ -1,0 +1,116 @@
+"""Unit tests for dataset specifications (Tab. II)."""
+
+import pytest
+
+from repro.data import (
+    ALL_DATASETS,
+    DatasetSpec,
+    FieldSpec,
+    alibaba,
+    criteo,
+    product1,
+    product2,
+    product3,
+)
+
+
+class TestFieldSpec:
+    def test_defaults(self):
+        spec = FieldSpec(name="f", vocab_size=10, embedding_dim=4)
+        assert spec.seq_length == 1
+        assert spec.ids_per_instance == 1
+        assert spec.parameter_count == 40
+
+    def test_sequence_field(self):
+        spec = FieldSpec(name="f", vocab_size=10, embedding_dim=4,
+                         seq_length=50)
+        assert spec.ids_per_instance == 50
+
+    @pytest.mark.parametrize("kwargs", [
+        {"vocab_size": 0, "embedding_dim": 4},
+        {"vocab_size": 10, "embedding_dim": 0},
+        {"vocab_size": 10, "embedding_dim": 4, "seq_length": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FieldSpec(name="f", **kwargs)
+
+
+class TestDatasetSpec:
+    def test_rejects_duplicate_fields(self):
+        field = FieldSpec(name="f", vocab_size=10, embedding_dim=4)
+        with pytest.raises(ValueError):
+            DatasetSpec(name="d", fields=(field, field))
+
+    def test_field_lookup(self):
+        dataset = criteo(0.001)
+        assert dataset.field("cat_0").name == "cat_0"
+        with pytest.raises(KeyError):
+            dataset.field("nope")
+
+    def test_ids_per_instance_counts_sequences(self):
+        dataset = alibaba(0.001)
+        assert dataset.ids_per_instance == 7 + 12 * 100
+
+
+class TestTab2Statistics:
+    def test_criteo_shape(self):
+        dataset = criteo()
+        assert dataset.num_fields == 26
+        assert dataset.num_numeric == 13
+        assert dataset.total_parameters == pytest.approx(6e9, rel=0.15)
+
+    def test_alibaba_shape(self):
+        dataset = alibaba()
+        assert dataset.num_fields == 19  # 7 scalar + 12 sequence groups
+        assert sum(spec.seq_length for spec in dataset.fields) \
+            == 7 + 12 * 100
+        assert dataset.total_parameters == pytest.approx(6e9, rel=0.15)
+
+    def test_product1_shape(self):
+        dataset = product1()
+        assert dataset.num_fields == 204
+        assert dataset.num_numeric == 10
+        assert dataset.total_parameters == pytest.approx(160e9, rel=0.25)
+        dims = {spec.embedding_dim for spec in dataset.fields}
+        assert min(dims) >= 8 and max(dims) <= 32
+
+    def test_product2_shape(self):
+        dataset = product2()
+        assert dataset.num_fields == 364  # 334 scalar + 30 seq groups
+        assert dataset.total_parameters == pytest.approx(1e12, rel=0.35)
+
+    def test_product3_shape(self):
+        dataset = product3()
+        assert dataset.num_fields == 94  # 84 scalar + 10 seq groups
+        assert dataset.total_parameters == pytest.approx(1e12, rel=0.35)
+
+    def test_scale_shrinks_vocabularies(self):
+        big = criteo(1.0)
+        small = criteo(0.01)
+        assert small.total_parameters < big.total_parameters / 50
+
+    def test_registry_complete(self):
+        assert set(ALL_DATASETS) == {"Criteo", "Alibaba", "Product-1",
+                                     "Product-2", "Product-3"}
+
+
+class TestReplication:
+    def test_replicated_multiplies_fields(self):
+        base = product2(0.001)
+        wide = base.replicated(3)
+        assert wide.num_fields == base.num_fields * 3
+        assert wide.total_parameters == base.total_parameters * 3
+
+    def test_replicated_names_are_unique(self):
+        wide = product2(0.001).replicated(4)
+        names = [spec.name for spec in wide.fields]
+        assert len(set(names)) == len(names)
+
+    def test_replicated_identity(self):
+        base = product2(0.001)
+        assert base.replicated(1).num_fields == base.num_fields
+
+    def test_replicated_rejects_zero(self):
+        with pytest.raises(ValueError):
+            product2(0.001).replicated(0)

@@ -1,0 +1,98 @@
+"""Unit tests for distribution statistics (Fig. 3 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.data.spec import FieldSpec
+from repro.data.statistics import (
+    analytic_coverage,
+    coverage_curve,
+    coverage_of_top_fraction,
+    dataset_coverage_summary,
+    expected_unique_fraction,
+)
+from repro.data import criteo
+
+
+class TestCoverageCurve:
+    def test_uniform_ids(self):
+        ids = np.arange(100)
+        id_frac, data_frac = coverage_curve(ids)
+        # Uniform data: coverage curve is the diagonal.
+        assert np.allclose(id_frac, data_frac)
+
+    def test_skewed_ids_bow_above_diagonal(self):
+        ids = np.concatenate([np.zeros(90, dtype=int),
+                              np.arange(1, 11)])
+        id_frac, data_frac = coverage_curve(ids)
+        assert np.all(data_frac >= id_frac - 1e-12)
+
+    def test_empty(self):
+        id_frac, data_frac = coverage_curve(np.array([], dtype=int))
+        assert id_frac.size == 0
+
+    def test_point_cap(self):
+        ids = np.arange(1000)
+        id_frac, _ = coverage_curve(ids, points=50)
+        assert len(id_frac) == 50
+
+
+class TestTopFraction:
+    def test_single_hot_id(self):
+        ids = np.concatenate([np.zeros(99, dtype=int), np.array([1])])
+        assert coverage_of_top_fraction(ids, 0.5) == pytest.approx(0.99)
+
+    def test_full_fraction_is_total(self):
+        ids = np.arange(10)
+        assert coverage_of_top_fraction(ids, 1.0) == pytest.approx(1.0)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            coverage_of_top_fraction(np.arange(3), 0.0)
+
+    def test_empty(self):
+        assert coverage_of_top_fraction(np.array([], dtype=int)) == 0.0
+
+
+class TestAnalyticCoverage:
+    def test_matches_empirical_roughly(self):
+        field = FieldSpec(name="f", vocab_size=50_000, embedding_dim=4,
+                          zipf_exponent=1.2)
+        analytic = analytic_coverage(field, 0.2)
+        assert 0.5 < analytic < 1.0
+
+    def test_more_skew_more_coverage(self):
+        mild = FieldSpec(name="a", vocab_size=50_000, embedding_dim=4,
+                         zipf_exponent=1.01)
+        steep = FieldSpec(name="b", vocab_size=50_000, embedding_dim=4,
+                          zipf_exponent=1.4)
+        assert analytic_coverage(steep, 0.2) > analytic_coverage(mild, 0.2)
+
+    def test_dataset_summary_covers_all_fields(self):
+        dataset = criteo(0.001)
+        summary = dataset_coverage_summary(dataset)
+        assert set(summary) == {spec.name for spec in dataset.fields}
+
+
+class TestUniqueFraction:
+    def test_bounded(self):
+        field = FieldSpec(name="f", vocab_size=1_000, embedding_dim=4,
+                          zipf_exponent=1.2)
+        fraction = expected_unique_fraction(field, 10_000)
+        assert 0.0 < fraction <= 1.0
+
+    def test_small_vocab_saturates(self):
+        field = FieldSpec(name="f", vocab_size=10, embedding_dim=4)
+        fraction = expected_unique_fraction(field, 10_000)
+        assert fraction <= 10 / 10_000 * 1.5
+
+    def test_zero_batch(self):
+        field = FieldSpec(name="f", vocab_size=10, embedding_dim=4)
+        assert expected_unique_fraction(field, 0) == 1.0
+
+    def test_bigger_batches_lower_fraction(self):
+        field = FieldSpec(name="f", vocab_size=100_000, embedding_dim=4,
+                          zipf_exponent=1.1)
+        small = expected_unique_fraction(field, 1_000)
+        large = expected_unique_fraction(field, 100_000)
+        assert large < small

@@ -1,0 +1,111 @@
+"""Unit tests for the bounded-Zipf samplers."""
+
+import numpy as np
+import pytest
+
+from repro.data.spec import FieldSpec
+from repro.data.synthetic import BoundedZipf, FieldSampler, sample_field_batch
+
+
+class TestBoundedZipf:
+    def test_ids_within_vocabulary(self):
+        zipf = BoundedZipf(1000, 1.1)
+        ids = zipf.sample(10_000, np.random.default_rng(0))
+        assert ids.min() >= 0
+        assert ids.max() < 1000
+
+    def test_skew_favors_low_ranks(self):
+        zipf = BoundedZipf(100_000, 1.2)
+        ids = zipf.sample(50_000, np.random.default_rng(0))
+        head = np.mean(ids < 1000)
+        assert head > 0.3  # 1% of vocab covers >30% of draws
+
+    def test_higher_exponent_more_skew(self):
+        rng = np.random.default_rng(0)
+        mild = BoundedZipf(100_000, 1.01).sample(50_000, rng)
+        rng = np.random.default_rng(0)
+        steep = BoundedZipf(100_000, 1.5).sample(50_000, rng)
+        assert np.mean(steep < 100) > np.mean(mild < 100)
+
+    def test_single_id_vocabulary(self):
+        zipf = BoundedZipf(1, 1.1)
+        ids = zipf.sample(100, np.random.default_rng(0))
+        assert np.all(ids == 0)
+
+    def test_zero_size(self):
+        zipf = BoundedZipf(10, 1.1)
+        assert zipf.sample(0, np.random.default_rng(0)).size == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedZipf(10, 1.1).sample(-1, np.random.default_rng(0))
+
+    @pytest.mark.parametrize("vocab,exponent", [(0, 1.1), (10, 0.0)])
+    def test_validation(self, vocab, exponent):
+        with pytest.raises(ValueError):
+            BoundedZipf(vocab, exponent)
+
+    def test_exponent_one_special_case(self):
+        zipf = BoundedZipf(1000, 1.0)
+        ids = zipf.sample(1000, np.random.default_rng(0))
+        assert ids.max() < 1000
+
+    def test_probability_sums_to_one(self):
+        # The continuous-CDF normalization is an approximation of the
+        # discrete zeta sum; ~15% is its documented accuracy envelope.
+        zipf = BoundedZipf(500, 1.1)
+        probs = zipf.probability(np.arange(500))
+        assert probs.sum() == pytest.approx(1.0, rel=0.15)
+
+    def test_probability_decreasing(self):
+        zipf = BoundedZipf(500, 1.1)
+        probs = zipf.probability(np.arange(500))
+        assert np.all(np.diff(probs) <= 0)
+
+
+class TestFieldSampler:
+    def _field(self, **kwargs):
+        defaults = dict(name="f", vocab_size=10_000, embedding_dim=8)
+        defaults.update(kwargs)
+        return FieldSpec(**defaults)
+
+    def test_batch_shape_scalar(self):
+        sampler = FieldSampler(self._field())
+        assert sampler.sample_batch(128).shape == (128,)
+
+    def test_batch_shape_sequence(self):
+        sampler = FieldSampler(self._field(seq_length=20))
+        assert sampler.sample_batch(128).shape == (128 * 20,)
+
+    def test_deterministic_given_seed(self):
+        first = FieldSampler(self._field(), seed=5).sample_batch(64)
+        second = FieldSampler(self._field(), seed=5).sample_batch(64)
+        assert np.array_equal(first, second)
+
+    def test_different_seeds_differ(self):
+        first = FieldSampler(self._field(), seed=1).sample_batch(256)
+        second = FieldSampler(self._field(), seed=2).sample_batch(256)
+        assert not np.array_equal(first, second)
+
+    def test_fields_have_distinct_hot_ids(self):
+        one = FieldSampler(self._field(name="a"), seed=0)
+        two = FieldSampler(self._field(name="b"), seed=0)
+        hot_a = np.bincount(one.sample_batch(5000),
+                            minlength=10_000).argmax()
+        hot_b = np.bincount(two.sample_batch(5000),
+                            minlength=10_000).argmax()
+        assert hot_a != hot_b
+
+    def test_ids_in_range(self):
+        sampler = FieldSampler(self._field(vocab_size=77))
+        ids = sampler.sample_batch(1000)
+        assert ids.min() >= 0
+        assert ids.max() < 77
+
+
+class TestConvenience:
+    def test_sample_field_batch(self):
+        field = FieldSpec(name="f", vocab_size=100, embedding_dim=4,
+                          seq_length=3)
+        ids = sample_field_batch(field, 10, np.random.default_rng(0))
+        assert ids.shape == (30,)

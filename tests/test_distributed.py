@@ -1,0 +1,200 @@
+"""Tests for functional collectives and multi-worker training."""
+
+import numpy as np
+import pytest
+
+from repro.data.labeled import LabeledBatchIterator
+from repro.data.spec import DatasetSpec, FieldSpec
+from repro.distributed import (
+    DataParallelTrainer,
+    ParameterServer,
+    PsWorkerTrainer,
+    allreduce_mean,
+    alltoallv,
+    alltoallv_time,
+    ring_allreduce_time,
+)
+from repro.distributed.collectives import ps_pull_time
+from repro.hardware import NET_RDMA_100G
+from repro.nn.network import WdlNetwork
+from repro.nn.optim import Adagrad
+
+
+def _dataset():
+    return DatasetSpec(name="d", num_numeric=2, fields=(
+        FieldSpec(name="a", vocab_size=1000, embedding_dim=8),
+        FieldSpec(name="s", vocab_size=1000, embedding_dim=8,
+                  seq_length=4),
+    ))
+
+
+def _batch(size=64, seed=0):
+    return LabeledBatchIterator(_dataset(), size, noise_scale=0.5,
+                                seed=seed).next_batch()
+
+
+class TestFunctionalCollectives:
+    def test_allreduce_mean(self):
+        arrays = [np.full(3, value) for value in (1.0, 2.0, 3.0)]
+        assert np.allclose(allreduce_mean(arrays), 2.0)
+
+    def test_allreduce_shape_check(self):
+        with pytest.raises(ValueError):
+            allreduce_mean([np.zeros(2), np.zeros(3)])
+
+    def test_allreduce_empty(self):
+        with pytest.raises(ValueError):
+            allreduce_mean([])
+
+    def test_alltoallv_routing(self):
+        chunks = [[np.array([10 * i + j]) for j in range(3)]
+                  for i in range(3)]
+        received = alltoallv(chunks)
+        # Worker j receives chunk [i][j] from each sender i.
+        assert received[1][0][0] == 1
+        assert received[1][2][0] == 21
+
+    def test_alltoallv_square_check(self):
+        with pytest.raises(ValueError):
+            alltoallv([[np.zeros(1)], [np.zeros(1), np.zeros(1)]])
+
+
+class TestTimeModels:
+    def test_single_worker_free(self):
+        assert ring_allreduce_time(1e9, 1, NET_RDMA_100G) == 0.0
+        assert alltoallv_time(1e9, 1, NET_RDMA_100G) == 0.0
+
+    def test_allreduce_volume_factor(self):
+        few = ring_allreduce_time(1e9, 2, NET_RDMA_100G)
+        many = ring_allreduce_time(1e9, 64, NET_RDMA_100G)
+        # Volume grows towards 2x payload; latency grows with workers.
+        assert many > few
+
+    def test_alltoall_skew_inflates(self):
+        plain = alltoallv_time(1e9, 16, NET_RDMA_100G)
+        skewed = alltoallv_time(1e9, 16, NET_RDMA_100G, skew=1.5)
+        assert skewed > plain
+
+    def test_ps_pull_serving_bound(self):
+        fast = ps_pull_time(1e9, NET_RDMA_100G)
+        slow = ps_pull_time(1e9, NET_RDMA_100G, serving_rate=1e8)
+        assert slow > fast
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ring_allreduce_time(1.0, 0, NET_RDMA_100G)
+        with pytest.raises(ValueError):
+            alltoallv_time(1.0, 2, NET_RDMA_100G, skew=0.5)
+        with pytest.raises(ValueError):
+            ps_pull_time(-1.0, NET_RDMA_100G)
+
+
+class TestDataParallel:
+    def test_matches_single_worker_dense_exactly(self):
+        """DP over W shards == one step on the undivided batch."""
+        batch = _batch(size=64)
+        single = WdlNetwork(_dataset(), variant="wdl", seed=0)
+        single.train_step(batch, Adagrad(lr=0.05))
+
+        replica = WdlNetwork(_dataset(), variant="wdl", seed=0)
+        trainer = DataParallelTrainer(replica, workers=4,
+                                      optimizer=Adagrad(lr=0.05))
+        trainer.train_step(batch)
+
+        for name, (value, _grad) in single.parameters().items():
+            other = dict(replica.parameters().items())[name][0]
+            assert np.allclose(value, other, atol=1e-10), name
+
+    def test_sparse_rows_match_closely(self):
+        batch = _batch(size=64)
+        single = WdlNetwork(_dataset(), variant="wdl", seed=0)
+        single.train_step(batch, Adagrad(lr=0.05))
+        replica = WdlNetwork(_dataset(), variant="wdl", seed=0)
+        DataParallelTrainer(replica, workers=4,
+                            optimizer=Adagrad(lr=0.05)).train_step(batch)
+        # Rows shared across shards see Adagrad's accumulator in a
+        # different order, and Adagrad's first step is sign-scaled at
+        # the learning rate, so multi-shard rows may differ by O(lr);
+        # the bulk of the table must still agree tightly.
+        diff = np.abs(single.embeddings["a"].table
+                      - replica.embeddings["a"].table)
+        assert diff.max() < 3 * 0.05
+        assert np.median(diff) < 1e-6
+
+    def test_learning_progresses(self):
+        trainer = DataParallelTrainer(
+            WdlNetwork(_dataset(), variant="wdl", seed=0), workers=2)
+        iterator = LabeledBatchIterator(_dataset(), 128,
+                                        noise_scale=0.3, seed=0)
+        losses = [trainer.train_step(batch)
+                  for batch in iterator.batches(25)]
+        assert np.mean(losses[-5:]) < np.mean(losses[:5])
+
+    def test_batch_must_divide(self):
+        trainer = DataParallelTrainer(
+            WdlNetwork(_dataset(), variant="wdl"), workers=3)
+        with pytest.raises(ValueError):
+            trainer.train_step(_batch(size=64))
+
+    def test_worker_validation(self):
+        with pytest.raises(ValueError):
+            DataParallelTrainer(WdlNetwork(_dataset(), variant="wdl"),
+                                workers=0)
+
+
+class TestParameterServer:
+    def test_inflight_zero_is_synchronous(self):
+        server_net = WdlNetwork(_dataset(), variant="wdl", seed=0)
+        server = ParameterServer(server_net, Adagrad(lr=0.05))
+        worker = PsWorkerTrainer(server, inflight=0)
+        sync_net = WdlNetwork(_dataset(), variant="wdl", seed=0)
+        iterator_a = LabeledBatchIterator(_dataset(), 64, seed=0)
+        iterator_b = LabeledBatchIterator(_dataset(), 64, seed=0)
+        sync_losses = []
+        ps_losses = []
+        optimizer = Adagrad(lr=0.05)
+        for batch_a, batch_b in zip(iterator_a.batches(6),
+                                    iterator_b.batches(6)):
+            sync_losses.append(sync_net.train_step(batch_a, optimizer))
+            ps_losses.append(worker.train_step(batch_b))
+        assert np.allclose(sync_losses, ps_losses)
+        assert all(s == 0 for s in worker.observed_staleness)
+
+    def test_inflight_window_creates_staleness(self):
+        server = ParameterServer(
+            WdlNetwork(_dataset(), variant="wdl", seed=0))
+        worker = PsWorkerTrainer(server, inflight=3)
+        iterator = LabeledBatchIterator(_dataset(), 64, seed=0)
+        for batch in iterator.batches(10):
+            worker.train_step(batch)
+        worker.drain()
+        assert max(worker.observed_staleness) >= 1
+        assert server.version == 10
+
+    def test_drain_flushes_queue(self):
+        server = ParameterServer(
+            WdlNetwork(_dataset(), variant="wdl", seed=0))
+        worker = PsWorkerTrainer(server, inflight=5)
+        for batch in LabeledBatchIterator(_dataset(), 64,
+                                          seed=0).batches(3):
+            worker.train_step(batch)
+        assert server.version == 0  # all still in flight
+        worker.drain()
+        assert server.version == 3
+
+    def test_stale_training_still_learns(self):
+        server = ParameterServer(
+            WdlNetwork(_dataset(), variant="wdl", seed=0),
+            Adagrad(lr=0.05))
+        worker = PsWorkerTrainer(server, inflight=2)
+        iterator = LabeledBatchIterator(_dataset(), 256,
+                                        noise_scale=0.3, seed=0)
+        losses = [worker.train_step(batch)
+                  for batch in iterator.batches(30)]
+        worker.drain()
+        assert np.mean(losses[-5:]) < np.mean(losses[:5])
+
+    def test_inflight_validation(self):
+        server = ParameterServer(WdlNetwork(_dataset(), variant="wdl"))
+        with pytest.raises(ValueError):
+            PsWorkerTrainer(server, inflight=-1)

@@ -1,0 +1,138 @@
+"""Smoke tests for the experiment harnesses (reduced sizes).
+
+Each experiment's full-size run lives in ``benchmarks/``; here we
+verify the harness code paths with small parameters.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig01_gpu_util,
+    fig03_distribution,
+    fig10_walltime,
+    fig13_ips,
+    fig15_scaling,
+    tab03_auc,
+    tab04_ablation,
+    tab05_op_counts,
+    tab06_hot_storage,
+    tab07_twelve_models,
+    tab08_feature_fields,
+    tab10_model_scale,
+)
+from repro.experiments.common import (
+    BENCHMARK_BATCH_SIZES,
+    benchmark_model,
+    format_table,
+    mini_alibaba,
+    mini_criteo,
+    production_model,
+    run_framework,
+)
+from repro.hardware import eflops_cluster
+
+
+class TestCommon:
+    def test_benchmark_models_resolve(self):
+        for name in BENCHMARK_BATCH_SIZES:
+            model, dataset = benchmark_model(name)
+            assert model.name == name
+            assert dataset.num_fields > 0
+
+    def test_benchmark_model_cached(self):
+        first, _ = benchmark_model("DLRM")
+        second, _ = benchmark_model("DLRM")
+        assert first is second
+
+    def test_unknown_models_rejected(self):
+        with pytest.raises(KeyError):
+            benchmark_model("BERT")
+        with pytest.raises(KeyError):
+            production_model("BERT")
+
+    def test_run_framework_dispatch(self):
+        model, _dataset = benchmark_model("DLRM")
+        cluster = eflops_cluster(2)
+        for name in ("TF-PS", "PICASSO", "PICASSO(Base)"):
+            report = run_framework(name, model, cluster, 1024,
+                                   iterations=1)
+            assert report.ips > 0
+
+    def test_mini_datasets(self):
+        assert mini_criteo(fields=5).num_fields == 5
+        mini = mini_alibaba(profile_fields=2, behavior_fields=1,
+                            seq_length=4)
+        assert mini.ids_per_instance == 2 + 4
+
+    def test_format_table(self):
+        text = format_table([{"a": 1, "b": "x"}], ["a", "b"])
+        assert "a" in text and "x" in text
+
+
+class TestLightExperiments:
+    def test_fig03(self):
+        rows = fig03_distribution.run_id_distribution(
+            sample_batches=1, batch_size=2000, scale=0.01)
+        assert len(rows) == 5
+
+    def test_tab05(self):
+        rows = tab05_op_counts.run_op_counts(num_nodes=4)
+        assert {row["model"] for row in rows} == {"W&D", "CAN", "MMoE"}
+
+    def test_tab03_single_model(self):
+        rows = [row for row in tab03_auc.run_auc(steps=10,
+                                                 eval_batches=2)
+                if row["model"] == "DLRM"]
+        assert len(rows) == 4
+
+    def test_paper_references_well_formed(self):
+        assert fig01_gpu_util.paper_reference()["band"]
+        assert len(tab04_ablation.paper_reference()) == 12
+        assert len(tab07_twelve_models.paper_reference()) == 12
+        assert len(tab10_model_scale.paper_reference()) == 4
+        assert fig10_walltime.paper_reference()["speedup_vs_tf_ps"]
+
+    def test_fig13_accelerations_math(self):
+        rows = [
+            {"model": "X", "system": "TF-PS", "ips": 100},
+            {"model": "X", "system": "PICASSO", "ips": 400},
+        ]
+        accel = fig13_ips.accelerations(rows)
+        assert accel[0]["picasso_vs_ps"] == 4.0
+
+    def test_fig15_efficiency_math(self):
+        rows = [
+            {"model": "X", "workers": 1, "cluster_ips": 100},
+            {"model": "X", "workers": 4, "cluster_ips": 300},
+        ]
+        eff = fig15_scaling.scaling_efficiency(rows)
+        assert eff[0]["efficiency_pct"] == pytest.approx(75.0)
+
+    def test_fig10_speedup_math(self):
+        rows = [
+            {"model": "X", "framework": "TF-PS", "ips": 10},
+            {"model": "X", "framework": "PyTorch", "ips": 20},
+            {"model": "X", "framework": "Horovod", "ips": 25},
+            {"model": "X", "framework": "PICASSO", "ips": 50},
+        ]
+        speedups = fig10_walltime.speedups(rows)
+        assert speedups[0]["vs_tf_ps"] == 5.0
+        assert speedups[0]["vs_best_baseline"] == 2.0
+
+    def test_tab08_small_sweep(self):
+        rows = tab08_feature_fields.run_feature_field_sweep(
+            multiples=(1, 2), batch_size=1024, iterations=1,
+            num_nodes=2, scale=0.002)
+        assert len(rows) == 2
+        assert rows[0]["picasso_vs_ap_pct"] == 0.0
+
+    def test_tab06_structure(self):
+        rows = tab06_hot_storage.run_hot_storage_sweep(
+            iterations=1, num_nodes=2, models=("W&D",))
+        assert len(rows) == 5
+        assert all("hit_ratio_pct" in row for row in rows)
+
+    def test_tab07_subset(self):
+        rows = tab07_twelve_models.run_twelve_models(
+            iterations=1, num_nodes=2, scale=0.002, models=("LR", "DCN"))
+        assert len(rows) == 2

@@ -1,0 +1,143 @@
+"""Tests for trace export, topology-aware comm, and the CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.distributed.topology import (
+    effective_worker_bandwidth,
+    plan_nic_assignments,
+    stagger_offsets,
+)
+from repro.hardware import eflops_cluster, gn6e_cluster
+from repro.sim import Engine, Phase, Resource, ResourceKind, SimTask
+from repro.sim.export import ascii_gantt, busy_summary, timeline_json
+
+
+def _result():
+    resources = {
+        ResourceKind.NET: Resource(ResourceKind.NET, 10.0),
+        ResourceKind.GPU_SM: Resource(ResourceKind.GPU_SM, 100.0),
+    }
+    first = SimTask("a", [Phase(ResourceKind.NET, 50.0)])
+    second = SimTask("b", [Phase(ResourceKind.GPU_SM, 200.0)])
+    second.depends_on(first)
+    return Engine(resources).run([first, second])
+
+
+class TestExport:
+    def test_timeline_json_schema(self):
+        payload = json.loads(timeline_json(_result(), bucket=1.0))
+        assert payload["makespan"] == pytest.approx(7.0)
+        assert "net" in payload["buckets"]
+        series = payload["buckets"]["net"]["utilization"]
+        assert series[0] == pytest.approx(1.0)
+        assert series[-1] == pytest.approx(0.0)
+
+    def test_ascii_gantt_rows(self):
+        chart = ascii_gantt(_result(), width=20)
+        lines = chart.splitlines()
+        assert any(line.startswith("net") for line in lines)
+        assert any(line.startswith("gpu_sm") for line in lines)
+
+    def test_ascii_gantt_width_validation(self):
+        with pytest.raises(ValueError):
+            ascii_gantt(_result(), width=2)
+
+    def test_busy_summary(self):
+        summary = busy_summary(_result())
+        assert summary["net"]["busy_fraction"] == pytest.approx(5 / 7,
+                                                                abs=0.01)
+        assert 0 <= summary["gpu_sm"]["mean_utilization"] <= 1
+
+
+class TestTopologyAwareComm:
+    def test_assignments_cover_all_workers(self):
+        cluster = gn6e_cluster(1)  # 8 GPUs per node
+        assignments = plan_nic_assignments(cluster, nics_per_node=2)
+        assert len(assignments) == 8
+        assert {a.nic_index for a in assignments} == {0, 1}
+
+    def test_shares_sum_to_one_per_nic(self):
+        assignments = plan_nic_assignments(gn6e_cluster(1),
+                                           nics_per_node=2)
+        per_nic: dict = {}
+        for assignment in assignments:
+            per_nic.setdefault(assignment.nic_index, 0.0)
+            per_nic[assignment.nic_index] += assignment.bandwidth_share
+        for total in per_nic.values():
+            assert total == pytest.approx(1.0)
+
+    def test_single_gpu_node_trivial(self):
+        assignments = plan_nic_assignments(eflops_cluster(1))
+        assert len(assignments) == 1
+        assert assignments[0].bandwidth_share == 1.0
+
+    def test_topology_awareness_beats_contention(self):
+        aware = effective_worker_bandwidth(gn6e_cluster(1),
+                                           topology_aware=True)
+        naive = effective_worker_bandwidth(gn6e_cluster(1),
+                                           topology_aware=False)
+        assert aware > naive
+
+    def test_more_nics_more_bandwidth(self):
+        one = effective_worker_bandwidth(gn6e_cluster(1), nics_per_node=1)
+        two = effective_worker_bandwidth(gn6e_cluster(1), nics_per_node=2)
+        assert two == pytest.approx(2 * one)
+
+    def test_stagger_offsets(self):
+        assignments = plan_nic_assignments(gn6e_cluster(1),
+                                           nics_per_node=4)
+        offsets = stagger_offsets(assignments, burst_seconds=0.01)
+        assert offsets[0] == 0.0
+        assert max(offsets.values()) == pytest.approx(0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_nic_assignments(gn6e_cluster(1), nics_per_node=0)
+        with pytest.raises(ValueError):
+            stagger_offsets([], burst_seconds=-1.0)
+
+
+class TestCli:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["list"])
+        assert args.command == "list"
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "DLRM" in out
+        assert "Criteo" in out
+
+    def test_simulate_command(self, capsys):
+        code = main(["simulate", "--model", "DLRM", "--dataset",
+                     "Criteo", "--scale", "0.001", "--cluster",
+                     "eflops:2", "--batch", "512", "--iterations", "1"])
+        assert code == 0
+        assert "ips" in capsys.readouterr().out
+
+    def test_train_command(self, capsys):
+        code = main(["train", "--variant", "wdl", "--steps", "5",
+                     "--batch", "128"])
+        assert code == 0
+        assert "AUC" in capsys.readouterr().out
+
+    def test_gantt_command(self, capsys):
+        code = main(["gantt", "--model", "DLRM", "--dataset", "Criteo",
+                     "--scale", "0.001", "--cluster", "eflops:2",
+                     "--batch", "512", "--iterations", "1",
+                     "--width", "30"])
+        assert code == 0
+        assert "|" in capsys.readouterr().out
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--model", "BERT"])
+
+    def test_bad_cluster_spec(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--cluster", "tpu:4"])

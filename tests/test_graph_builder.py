@@ -1,0 +1,222 @@
+"""Unit tests for the iteration-graph builder (the cost model)."""
+
+import pytest
+
+from repro.data import criteo, product1
+from repro.graph import (
+    EmbeddingGroup,
+    ExecutionPlan,
+    IterationGraphBuilder,
+    WorkloadStats,
+    groups_per_field,
+)
+from repro.hardware import eflops_cluster, gn6e_cluster
+from repro.models import dlrm, wide_deep
+from repro.sim.resource import ResourceKind
+
+
+@pytest.fixture(scope="module")
+def small_model():
+    return dlrm(criteo(0.001))
+
+
+def _plan(model, **overrides):
+    defaults = dict(
+        model=model,
+        cluster=eflops_cluster(4),
+        batch_size=1024,
+        strategy="mp",
+        groups=groups_per_field(model.dataset),
+    )
+    defaults.update(overrides)
+    return ExecutionPlan(**defaults)
+
+
+class TestPlanValidation:
+    def test_unknown_strategy(self, small_model):
+        with pytest.raises(ValueError):
+            _plan(small_model, strategy="magic")
+
+    def test_bad_batch(self, small_model):
+        with pytest.raises(ValueError):
+            _plan(small_model, batch_size=0)
+
+    def test_bad_micro_batches(self, small_model):
+        with pytest.raises(ValueError):
+            _plan(small_model, micro_batches=0)
+
+    def test_bad_cache_ratio(self, small_model):
+        with pytest.raises(ValueError):
+            _plan(small_model, cache_hit_ratio=1.5)
+
+    def test_bad_scope(self, small_model):
+        with pytest.raises(ValueError):
+            _plan(small_model, micro_batch_scope="sideways")
+
+    def test_strategy_flags(self, small_model):
+        assert _plan(small_model, strategy="hybrid").uses_alltoall
+        assert not _plan(small_model, strategy="dp").uses_alltoall
+        assert _plan(small_model, strategy="ps-async").is_async
+
+
+class TestEmbeddingGroup:
+    def test_requires_fields(self):
+        with pytest.raises(ValueError):
+            EmbeddingGroup(name="g", fields=())
+
+    def test_shard_fraction_bounds(self, small_model):
+        field = small_model.dataset.fields[0]
+        with pytest.raises(ValueError):
+            EmbeddingGroup(name="g", fields=(field,), shard_fraction=0.0)
+
+    def test_ids_per_batch_respects_shard(self, small_model):
+        field = small_model.dataset.fields[0]
+        full = EmbeddingGroup(name="g", fields=(field,))
+        half = EmbeddingGroup(name="h", fields=(field,),
+                              shard_fraction=0.5)
+        assert half.ids_per_batch(100) == full.ids_per_batch(100) / 2
+
+    def test_groups_per_field_covers_dataset(self, small_model):
+        groups = groups_per_field(small_model.dataset)
+        assert len(groups) == small_model.dataset.num_fields
+        assert all(not group.is_packed for group in groups)
+
+
+class TestGraphConstruction:
+    def test_graph_is_acyclic(self, small_model):
+        graph = IterationGraphBuilder(_plan(small_model)).build(2)
+        graph.validate()
+
+    def test_iterations_scale_ops(self, small_model):
+        builder = IterationGraphBuilder(_plan(small_model))
+        one = IterationGraphBuilder(_plan(small_model)).build(1)
+        two = builder.build(2)
+        assert len(two) == pytest.approx(2 * len(one), rel=0.05)
+
+    def test_micro_batches_multiply_ops(self, small_model):
+        base = IterationGraphBuilder(_plan(small_model)).build(1)
+        sliced = IterationGraphBuilder(
+            _plan(small_model, micro_batches=3)).build(1)
+        assert len(sliced) > 2 * len(base)
+
+    def test_fusion_reduces_ops_and_micro_ops(self, small_model):
+        plain = IterationGraphBuilder(_plan(small_model)).build(1)
+        fused = IterationGraphBuilder(
+            _plan(small_model, fuse_kernels=True)).build(1)
+        assert len(fused) < len(plain)
+        assert fused.total_micro_ops < plain.total_micro_ops
+
+    def test_ps_strategy_has_pull_push_no_shuffle(self, small_model):
+        graph = IterationGraphBuilder(
+            _plan(small_model, strategy="ps-async")).build(1)
+        kinds = {op.kind for op in graph.ops}
+        assert "ps_pull" in kinds
+        assert "ps_push" in kinds
+        assert "shuffle" not in kinds
+
+    def test_mp_strategy_has_shuffle(self, small_model):
+        graph = IterationGraphBuilder(_plan(small_model)).build(1)
+        kinds = {op.kind for op in graph.ops}
+        assert "shuffle" in kinds
+
+    def test_dp_strategy_allreduces_embeddings(self, small_model):
+        graph = IterationGraphBuilder(
+            _plan(small_model, strategy="dp")).build(1)
+        names = [op.name for op in graph.ops
+                 if op.kind == "allreduce"]
+        assert any("grad_allreduce" in name for name in names)
+
+    def test_single_worker_skips_collectives(self, small_model):
+        graph = IterationGraphBuilder(
+            _plan(small_model, cluster=eflops_cluster(1))).build(1)
+        kinds = {op.kind for op in graph.ops}
+        assert "shuffle" not in kinds
+        assert "allreduce" not in kinds
+
+    def test_segment_reduce_only_for_sequences(self, small_model):
+        graph = IterationGraphBuilder(_plan(small_model)).build(1)
+        # Criteo has no sequence fields.
+        assert not [op for op in graph.ops
+                    if op.kind == "segment_reduce"]
+
+    def test_sequence_dataset_gets_segment_reduce(self):
+        model = wide_deep(product1(0.001))
+        from repro.data import alibaba
+        seq_model = wide_deep(alibaba(0.001))
+        plan = _plan(seq_model)
+        graph = IterationGraphBuilder(plan).build(1)
+        assert [op for op in graph.ops if op.kind == "segment_reduce"]
+
+    def test_interleave_sets_add_ordering_edges(self, small_model):
+        groups = groups_per_field(small_model.dataset)
+        for index, group in enumerate(groups):
+            group.interleave_set = index % 3
+        plain = IterationGraphBuilder(
+            _plan(small_model, interleave_sets=1)).build(1)
+        ordered_plan = _plan(small_model, interleave_sets=3,
+                             groups=groups)
+        ordered = IterationGraphBuilder(ordered_plan).build(1)
+        count_edges = lambda graph: sum(
+            len(graph.successors(op)) for op in graph.ops)
+        assert count_edges(ordered) > count_edges(plain)
+
+
+class TestCosts:
+    def test_cache_reduces_pcie_work(self, small_model):
+        cold = IterationGraphBuilder(_plan(small_model)).build(1)
+        cached = IterationGraphBuilder(
+            _plan(small_model, cache_hit_ratio=0.8)).build(1)
+        pcie = lambda graph: sum(op.total_work(ResourceKind.PCIE)
+                                 for op in graph.ops)
+        assert pcie(cached) < pcie(cold)
+
+    def test_more_workers_more_network(self, small_model):
+        few = IterationGraphBuilder(
+            _plan(small_model, cluster=eflops_cluster(2))).build(1)
+        many = IterationGraphBuilder(
+            _plan(small_model, cluster=eflops_cluster(64))).build(1)
+        net = lambda graph: sum(op.total_work(ResourceKind.NET)
+                                for op in graph.ops)
+        assert net(many) > net(few)
+
+    def test_nvlink_used_on_multi_gpu_nodes(self, small_model):
+        plan = _plan(small_model, cluster=gn6e_cluster(2))
+        graph = IterationGraphBuilder(plan).build(1)
+        nvlink = sum(op.total_work(ResourceKind.NVLINK)
+                     for op in graph.ops)
+        assert nvlink > 0
+
+    def test_io_compression_shrinks_wire(self, small_model):
+        plain = IterationGraphBuilder(_plan(small_model)).build(1)
+        packed = IterationGraphBuilder(
+            _plan(small_model, io_compression=0.5)).build(1)
+        wire = lambda graph: sum(
+            op.total_work(ResourceKind.NET) for op in graph.ops
+            if op.kind == "io_read")
+        assert wire(packed) == pytest.approx(wire(plain) / 2)
+
+    def test_activation_bytes_divided_by_micro_batches(self, small_model):
+        whole = IterationGraphBuilder(_plan(small_model))
+        sliced = IterationGraphBuilder(
+            _plan(small_model, micro_batches=4))
+        assert sliced.activation_bytes() < whole.activation_bytes()
+
+    def test_build_rejects_zero_iterations(self, small_model):
+        with pytest.raises(ValueError):
+            IterationGraphBuilder(_plan(small_model)).build(0)
+
+
+class TestWorkloadStats:
+    def test_cache_is_shared_across_same_distribution(self):
+        stats = WorkloadStats()
+        dataset = criteo(0.001)
+        first = stats.unique_fraction(dataset.fields[0], 1000)
+        again = stats.unique_fraction(dataset.fields[0], 1000)
+        assert first == again
+
+    def test_group_unique_ids_positive(self):
+        stats = WorkloadStats()
+        dataset = criteo(0.001)
+        group = EmbeddingGroup(name="g", fields=tuple(dataset.fields[:3]))
+        unique = stats.group_unique_ids(group, 512)
+        assert 0 < unique <= 3 * 512

@@ -1,0 +1,133 @@
+"""Unit tests for HybridHash (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.data.spec import FieldSpec
+from repro.data.synthetic import FieldSampler
+from repro.embedding import EmbeddingTable, HybridHash
+
+
+def _cache(dim=4, hot_rows=50, warmup=5, flush=5, seed=0):
+    table = EmbeddingTable(dim=dim, seed=seed)
+    return HybridHash(table, hot_bytes=hot_rows * dim * 4,
+                      warmup_iters=warmup, flush_iters=flush)
+
+
+class TestWarmup:
+    def test_warmup_counts_iterations(self):
+        cache = _cache(warmup=3)
+        assert cache.in_warmup
+        for _step in range(3):
+            cache.lookup(np.array([1, 2, 3]))
+        assert not cache.in_warmup
+
+    def test_warmup_records_frequencies(self):
+        cache = _cache(warmup=2)
+        cache.lookup(np.array([7, 7, 8]))
+        assert cache.counter.count(7) == 2
+
+    def test_no_hits_counted_during_warmup(self):
+        cache = _cache(warmup=5)
+        cache.lookup(np.array([1]))
+        assert cache.stats.queries == 0
+
+
+class TestLookupSemantics:
+    def test_returns_same_rows_as_plain_table(self):
+        """The cache is transparent: results equal an uncached table."""
+        cache = _cache(seed=3)
+        plain = EmbeddingTable(dim=4, seed=3)
+        rng = np.random.default_rng(0)
+        for _step in range(12):
+            ids = rng.integers(0, 500, size=64)
+            assert np.array_equal(cache.lookup(ids), plain.lookup(ids))
+
+    def test_hot_set_filled_after_warmup(self):
+        cache = _cache(hot_rows=2, warmup=2, flush=1)
+        for _step in range(4):
+            cache.lookup(np.array([1, 1, 1, 2, 2, 3]))
+        assert 1 in cache.hot_ids
+        assert len(cache.hot_ids) <= 2
+
+    def test_hits_track_hot_membership(self):
+        cache = _cache(hot_rows=1, warmup=1, flush=1)
+        cache.lookup(np.array([5, 5, 5]))  # warmup: 5 becomes hottest
+        cache.lookup(np.array([5, 6]))
+        assert cache.stats.hot_hits == 1
+        assert cache.stats.cold_misses == 1
+
+    def test_hit_ratio_on_skewed_stream(self):
+        field = FieldSpec(name="f", vocab_size=100_000, embedding_dim=4,
+                          zipf_exponent=1.3)
+        sampler = FieldSampler(field, seed=1)
+        cache = _cache(hot_rows=2_000, warmup=10, flush=10)
+        for _step in range(60):
+            cache.lookup(sampler.sample_batch(256))
+        # Skew guarantees a healthy hit ratio with 2% of IDs hot.
+        assert cache.stats.hit_ratio > 0.25
+
+    def test_updates_go_to_cold_storage(self):
+        cache = _cache()
+        cache.lookup(np.array([1]))
+        before = cache.cold.lookup(np.array([1])).copy()
+        cache.update(np.array([1]), np.ones((1, 4), dtype=np.float32))
+        after = cache.cold.lookup(np.array([1]))
+        assert np.allclose(after - before, 1.0)
+
+
+class TestFlush:
+    def test_flush_period(self):
+        cache = _cache(hot_rows=50, warmup=1, flush=3)
+        for _step in range(10):
+            # Enough distinct IDs that pin-all never triggers.
+            cache.lookup(np.arange(200))
+        assert cache.stats.flushes >= 2
+
+    def test_hot_set_adapts_to_drift(self):
+        cache = _cache(hot_rows=1, warmup=1, flush=1)
+        cache.lookup(np.array([1, 1]))
+        for _step in range(20):
+            cache.lookup(np.array([2, 2, 2]))
+        assert 2 in cache.hot_ids
+
+
+class TestPinAll:
+    def test_small_table_pins_everything(self):
+        cache = _cache(hot_rows=1000, warmup=2, flush=5)
+        for _step in range(6):
+            cache.lookup(np.array([1, 2, 3]))
+        # 3 distinct ids, 1000 hot rows: everything fits with headroom.
+        assert cache.stats.hit_ratio == 1.0
+
+    def test_pin_all_reverts_when_table_grows(self):
+        cache = _cache(hot_rows=10, warmup=1, flush=1)
+        cache.lookup(np.array([1, 2]))  # pin-all triggers (2*2 <= 10)
+        for step in range(30):
+            cache.lookup(np.arange(step * 5, step * 5 + 5))
+        assert len(cache.hot_ids) <= 10
+        assert cache.stats.cold_misses > 0
+
+
+class TestBatchHitRatio:
+    def test_no_side_effects(self):
+        cache = _cache(warmup=0, flush=1)
+        cache.lookup(np.array([1, 1, 2]))
+        queries_before = cache.stats.queries
+        cache.batch_hit_ratio(np.array([1, 2, 3]))
+        assert cache.stats.queries == queries_before
+
+    def test_empty_batch(self):
+        assert _cache().batch_hit_ratio(np.array([], dtype=int)) == 0.0
+
+
+class TestValidation:
+    def test_negative_hot_bytes(self):
+        table = EmbeddingTable(dim=4)
+        with pytest.raises(ValueError):
+            HybridHash(table, hot_bytes=-1)
+
+    def test_zero_flush_iters(self):
+        table = EmbeddingTable(dim=4)
+        with pytest.raises(ValueError):
+            HybridHash(table, hot_bytes=100, flush_iters=0)

@@ -1,0 +1,122 @@
+"""Integration tests spanning multiple subsystems.
+
+These exercise the same paths the paper's evaluation uses: plan ->
+graph -> simulate -> metrics, plus cache-in-the-loop and real training.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import framework_by_name
+from repro.core import PicassoConfig, PicassoExecutor
+from repro.data import alibaba, criteo, product1
+from repro.data.spec import FieldSpec
+from repro.data.synthetic import FieldSampler
+from repro.embedding import EmbeddingTable, HybridHash
+from repro.experiments.common import mini_criteo
+from repro.hardware import eflops_cluster, gn6e_cluster
+from repro.models import din, dlrm, wide_deep
+from repro.sim.metrics import utilization_cdf
+from repro.sim.resource import ResourceKind
+from repro.training import train_and_evaluate
+
+
+class TestSimulationPipeline:
+    """model spec -> plan -> operator graph -> engine -> metrics."""
+
+    def test_picasso_end_to_end_dlrm(self):
+        model = dlrm(criteo(0.01))
+        report = PicassoExecutor(model, gn6e_cluster(1)).run(
+            4096, iterations=3)
+        assert report.ips > 0
+        assert report.seconds_per_iteration > 0
+        levels, cdf = utilization_cdf(
+            report.result.recorder, ResourceKind.GPU_SM,
+            report.result.makespan)
+        assert levels.size > 0
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_four_frameworks_agree_on_direction(self):
+        """TF-PS < collectives < PICASSO, as in Fig. 10."""
+        model = dlrm(criteo(0.1))
+        cluster = gn6e_cluster(1)
+        tf_ps = framework_by_name("TF-PS").run(model, cluster, 4096,
+                                               iterations=3)
+        pytorch = framework_by_name("PyTorch").run(model, cluster, 4096,
+                                                   iterations=3)
+        picasso = PicassoExecutor(model, cluster).run(4096 * 4,
+                                                      iterations=3)
+        assert tf_ps.ips < pytorch.ips < picasso.ips
+
+    def test_sequence_model_end_to_end(self):
+        model = din(alibaba(0.01))
+        report = PicassoExecutor(model, gn6e_cluster(1)).run(
+            2048, iterations=2)
+        assert report.ips > 0
+
+    def test_ablations_are_internally_consistent(self):
+        model = wide_deep(product1(0.01))
+        cluster = eflops_cluster(4)
+        full = PicassoExecutor(model, cluster).run(4096, iterations=2)
+        for optimization in ("packing", "interleaving", "caching"):
+            ablated = PicassoExecutor(
+                model, cluster,
+                PicassoConfig().without(optimization)).run(4096,
+                                                           iterations=2)
+            assert ablated.ips <= full.ips * 1.05, optimization
+
+    def test_larger_cluster_more_comm_per_worker(self):
+        model = wide_deep(product1(0.01))
+        small = PicassoExecutor(model, eflops_cluster(2)).run(
+            4096, iterations=2)
+        large = PicassoExecutor(model, eflops_cluster(64)).run(
+            4096, iterations=2)
+        small_bytes = small.net_gbps * small.seconds_per_iteration
+        large_bytes = large.net_gbps * large.seconds_per_iteration
+        assert large_bytes > small_bytes
+
+
+class TestCacheInTheLoop:
+    def test_hybrid_hash_hit_ratio_matches_planner_direction(self):
+        """Algorithm 1's achieved hits grow with hot size, as planned."""
+        field = FieldSpec(name="f", vocab_size=200_000, embedding_dim=4,
+                          zipf_exponent=1.2)
+        ratios = []
+        for hot_rows in (200, 2_000, 20_000):
+            sampler = FieldSampler(field, seed=4)
+            cache = HybridHash(EmbeddingTable(dim=4),
+                               hot_bytes=hot_rows * 16,
+                               warmup_iters=10, flush_iters=10)
+            for _step in range(50):
+                cache.lookup(sampler.sample_batch(256))
+            ratios.append(cache.stats.hit_ratio)
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_cached_plan_faster_than_uncached(self):
+        model = wide_deep(product1(0.01))
+        cluster = eflops_cluster(4)
+        cached = PicassoExecutor(model, cluster).run(8192, iterations=2)
+        uncached = PicassoExecutor(
+            model, cluster,
+            PicassoConfig().without("caching")).run(8192, iterations=2)
+        assert cached.ips >= uncached.ips
+
+
+class TestRealTraining:
+    def test_sync_training_reaches_signal(self):
+        result = train_and_evaluate(mini_criteo(fields=4), "dlrm",
+                                    mode="sync", steps=60,
+                                    batch_size=512, eval_batches=5,
+                                    noise_scale=0.5)
+        assert result.auc > 0.6
+
+    def test_async_close_but_not_better(self):
+        dataset = mini_criteo(fields=4)
+        sync = train_and_evaluate(dataset, "dlrm", mode="sync",
+                                  steps=60, batch_size=512,
+                                  eval_batches=5, noise_scale=0.5)
+        stale = train_and_evaluate(dataset, "dlrm", mode="async-ps",
+                                   steps=60, batch_size=512,
+                                   eval_batches=5, noise_scale=0.5,
+                                   staleness=2)
+        assert stale.auc <= sync.auc + 0.02

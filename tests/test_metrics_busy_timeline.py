@@ -1,0 +1,76 @@
+"""Tests for the union-busy timeline metric (Fig. 11 sampling)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import busy_timeline
+from repro.sim.resource import ResourceKind
+from repro.sim.trace import TraceRecorder
+
+
+def _recorder():
+    recorder = TraceRecorder({
+        ResourceKind.GPU_SM: 100.0,
+        ResourceKind.HBM: 100.0,
+    })
+    return recorder
+
+
+class TestBusyTimeline:
+    def test_single_interval(self):
+        recorder = _recorder()
+        recorder.add_interval(0.0, 1.0, {ResourceKind.GPU_SM: 10.0})
+        _t, busy = busy_timeline(recorder, (ResourceKind.GPU_SM,),
+                                 makespan=2.0, bucket=1.0)
+        assert busy[0] == pytest.approx(1.0)
+        assert busy[1] == pytest.approx(0.0)
+
+    def test_union_of_kinds(self):
+        recorder = _recorder()
+        recorder.add_interval(0.0, 1.0, {ResourceKind.GPU_SM: 10.0})
+        recorder.add_interval(1.0, 2.0, {ResourceKind.HBM: 10.0})
+        _t, busy = busy_timeline(
+            recorder, (ResourceKind.GPU_SM, ResourceKind.HBM),
+            makespan=2.0, bucket=2.0)
+        assert busy[0] == pytest.approx(1.0)
+
+    def test_overlap_not_double_counted(self):
+        recorder = _recorder()
+        recorder.add_interval(0.0, 1.0, {ResourceKind.GPU_SM: 10.0,
+                                         ResourceKind.HBM: 10.0})
+        _t, busy = busy_timeline(
+            recorder, (ResourceKind.GPU_SM, ResourceKind.HBM),
+            makespan=2.0, bucket=2.0)
+        assert busy[0] == pytest.approx(0.5)
+
+    def test_partial_bucket(self):
+        recorder = _recorder()
+        recorder.add_interval(0.25, 0.75, {ResourceKind.GPU_SM: 1.0})
+        _t, busy = busy_timeline(recorder, (ResourceKind.GPU_SM,),
+                                 makespan=1.0, bucket=0.5)
+        assert busy[0] == pytest.approx(0.5)
+        assert busy[1] == pytest.approx(0.5)
+
+    def test_empty_trace(self):
+        _t, busy = busy_timeline(_recorder(), (ResourceKind.GPU_SM,),
+                                 makespan=1.0, bucket=0.5)
+        assert np.all(busy == 0.0)
+
+    def test_zero_makespan(self):
+        _t, busy = busy_timeline(_recorder(), (ResourceKind.GPU_SM,),
+                                 makespan=0.0)
+        assert busy.size == 0
+
+    def test_values_bounded(self):
+        recorder = _recorder()
+        rng = np.random.default_rng(0)
+        cursor = 0.0
+        for _segment in range(50):
+            start = cursor + rng.random() * 0.02
+            end = start + rng.random() * 0.05
+            recorder.add_interval(start, end,
+                                  {ResourceKind.GPU_SM: 1.0})
+            cursor = end
+        _t, busy = busy_timeline(recorder, (ResourceKind.GPU_SM,),
+                                 makespan=cursor, bucket=0.01)
+        assert np.all((busy >= 0.0) & (busy <= 1.0))

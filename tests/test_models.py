@@ -1,0 +1,147 @@
+"""Unit tests for the model zoo and cost formulas."""
+
+import pytest
+
+from repro.data import alibaba, criteo, product1, product2, product3
+from repro.models import (
+    MODEL_BUILDERS,
+    can,
+    dien,
+    din,
+    dlrm,
+    lr,
+    mmoe,
+    wide_deep,
+)
+from repro.models.base import (
+    InteractionKind,
+    InteractionModuleSpec,
+    ModelSpec,
+    interaction_flops_per_instance,
+)
+
+
+class TestZooBuilders:
+    @pytest.mark.parametrize("name", sorted(MODEL_BUILDERS))
+    def test_builds_on_product2(self, name):
+        model = MODEL_BUILDERS[name](product2(0.001))
+        assert model.num_modules >= 1
+        assert model.interaction_output_dim() > 0
+
+    def test_lr_has_no_mlp(self):
+        model = lr(product1(0.001))
+        assert model.mlp_layers == ()
+
+    def test_din_has_attention_per_sequence(self):
+        dataset = alibaba(0.001)
+        model = din(dataset)
+        attention = [m for m in model.modules
+                     if m.kind is InteractionKind.ATTENTION]
+        assert len(attention) == 12
+
+    def test_dien_has_gru_and_augru(self):
+        model = dien(alibaba(0.001))
+        kinds = [m.kind for m in model.modules]
+        assert kinds.count(InteractionKind.GRU) == 12
+        assert kinds.count(InteractionKind.AUGRU) == 12
+
+    def test_can_module_count_scales_with_sequences(self):
+        model = can(product2(0.001))
+        coaction = [m for m in model.modules
+                    if m.kind is InteractionKind.COACTION]
+        assert len(coaction) == 30
+        assert all(m.repeats == 8 for m in coaction)
+
+    def test_mmoe_has_71_experts(self):
+        model = mmoe(product3(0.001))
+        experts = [m for m in model.modules
+                   if m.kind is InteractionKind.EXPERT]
+        assert len(experts) == 1
+        assert experts[0].repeats == 71
+        assert model.num_tasks == 4
+
+    def test_wide_deep_has_wide_and_deep(self):
+        model = wide_deep(product1(0.001))
+        kinds = {m.kind for m in model.modules}
+        assert InteractionKind.LINEAR in kinds
+        assert InteractionKind.CONCAT in kinds
+
+
+class TestModelSpec:
+    def test_rejects_unknown_fields(self):
+        dataset = criteo(0.001)
+        module = InteractionModuleSpec(name="bad",
+                                       kind=InteractionKind.CONCAT,
+                                       fields=("missing",))
+        with pytest.raises(ValueError):
+            ModelSpec(name="m", dataset=dataset, modules=(module,))
+
+    def test_repeats_validation(self):
+        with pytest.raises(ValueError):
+            InteractionModuleSpec(name="m", kind=InteractionKind.CONCAT,
+                                  fields=("a",), repeats=0)
+
+    def test_expert_output_not_multiplied_by_repeats(self):
+        """The gate mixes experts; the MLP sees one expert width."""
+        model = mmoe(product3(0.001), num_experts=71)
+        few = mmoe(product3(0.001), num_experts=2)
+        assert model.interaction_output_dim() \
+            == few.interaction_output_dim()
+
+    def test_dense_parameters_scale_with_experts(self):
+        many = mmoe(product3(0.001), num_experts=71)
+        few = mmoe(product3(0.001), num_experts=7)
+        assert many.dense_parameters() > few.dense_parameters() * 5
+
+    def test_mlp_parameters_positive(self):
+        model = dlrm(criteo(0.001))
+        assert model.mlp_parameters() > 0
+        assert model.dense_parameters() >= model.mlp_parameters()
+
+
+class TestFlopFormulas:
+    def _fields(self, dataset, module):
+        return [dataset.field(name) for name in module.fields]
+
+    def test_concat_is_free(self):
+        dataset = criteo(0.001)
+        module = InteractionModuleSpec(
+            name="c", kind=InteractionKind.CONCAT,
+            fields=tuple(f.name for f in dataset.fields))
+        assert interaction_flops_per_instance(
+            module, self._fields(dataset, module)) == 0.0
+
+    def test_attention_scales_with_sequence(self):
+        dataset = alibaba(0.001)
+        seq_field = next(f for f in dataset.fields if f.seq_length > 1)
+        module = InteractionModuleSpec(
+            name="a", kind=InteractionKind.ATTENTION,
+            fields=(seq_field.name,), hidden=36)
+        flops = interaction_flops_per_instance(module, [seq_field])
+        assert flops > seq_field.seq_length  # superlinear in L
+
+    def test_gru_heavier_than_attention(self):
+        dataset = alibaba(0.001)
+        seq_field = next(f for f in dataset.fields if f.seq_length > 1)
+        gru = InteractionModuleSpec(name="g", kind=InteractionKind.GRU,
+                                    fields=(seq_field.name,))
+        att = InteractionModuleSpec(name="a",
+                                    kind=InteractionKind.ATTENTION,
+                                    fields=(seq_field.name,), hidden=4)
+        assert interaction_flops_per_instance(gru, [seq_field]) \
+            > interaction_flops_per_instance(att, [seq_field])
+
+    def test_all_kinds_have_formulas(self):
+        dataset = product2(0.001)
+        field = dataset.fields[0]
+        for kind in InteractionKind:
+            module = InteractionModuleSpec(name="x", kind=kind,
+                                           fields=(field.name,))
+            flops = interaction_flops_per_instance(module, [field])
+            assert flops >= 0.0
+
+    def test_empty_fields(self):
+        module = InteractionModuleSpec(name="x",
+                                       kind=InteractionKind.CONCAT,
+                                       fields=())
+        assert interaction_flops_per_instance(module, []) == 0.0

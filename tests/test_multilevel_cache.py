@@ -1,0 +1,130 @@
+"""Unit tests for the multi-level cache (HybridHash extension)."""
+
+import numpy as np
+import pytest
+
+from repro.data.spec import FieldSpec
+from repro.data.synthetic import FieldSampler
+from repro.embedding import EmbeddingTable
+from repro.embedding.multilevel import (
+    CacheTier,
+    DEFAULT_TIERS,
+    MultiLevelCache,
+)
+
+
+def _tiers(hot_rows=4, warm_rows=16):
+    return (
+        CacheTier("hbm", capacity_bytes=hot_rows * 16,
+                  access_seconds_per_byte=1e-12),
+        CacheTier("dram", capacity_bytes=warm_rows * 16,
+                  access_seconds_per_byte=1e-11),
+        CacheTier("ssd", capacity_bytes=float("inf"),
+                  access_seconds_per_byte=1e-9),
+    )
+
+
+def _cache(warmup=2, flush=2, **kwargs):
+    table = EmbeddingTable(dim=4, seed=0)
+    return MultiLevelCache(table, tiers=_tiers(**kwargs),
+                           warmup_iters=warmup, flush_iters=flush)
+
+
+class TestConstruction:
+    def test_requires_tiers(self):
+        with pytest.raises(ValueError):
+            MultiLevelCache(EmbeddingTable(dim=4), tiers=())
+
+    def test_requires_fastest_first(self):
+        bad = (_tiers()[2], _tiers()[0])
+        with pytest.raises(ValueError):
+            MultiLevelCache(EmbeddingTable(dim=4), tiers=bad)
+
+    def test_tier_validation(self):
+        with pytest.raises(ValueError):
+            CacheTier("x", capacity_bytes=-1,
+                      access_seconds_per_byte=1.0)
+
+    def test_default_tiers_ordered(self):
+        costs = [tier.access_seconds_per_byte for tier in DEFAULT_TIERS]
+        assert costs == sorted(costs)
+
+
+class TestPlacement:
+    def test_everything_bottom_before_flush(self):
+        cache = _cache(warmup=10)
+        cache.lookup(np.array([1, 2, 3]))
+        assert cache.tier_of(1) == "ssd"
+
+    def test_hottest_rows_float_up(self):
+        cache = _cache(warmup=1, flush=1, hot_rows=1, warm_rows=2)
+        for _step in range(4):
+            cache.lookup(np.array([9, 9, 9, 5, 5, 2]))
+        assert cache.tier_of(9) == "hbm"
+        assert cache.tier_of(5) == "dram"
+        assert cache.tier_of(2) in ("dram", "ssd")
+
+    def test_rows_per_tier_respects_capacity(self):
+        cache = _cache(warmup=1, flush=1, hot_rows=4, warm_rows=16)
+        for step in range(6):
+            cache.lookup(np.arange(step * 10, step * 10 + 10))
+        counts = cache.rows_per_tier()
+        assert counts["hbm"] <= 4
+        assert counts["dram"] <= 16
+        assert sum(counts.values()) == cache.counter.distinct_ids()
+
+
+class TestLookupSemantics:
+    def test_transparent_results(self):
+        cache = _cache()
+        plain = EmbeddingTable(dim=4, seed=0)
+        rng = np.random.default_rng(0)
+        for _step in range(8):
+            ids = rng.integers(0, 100, size=32)
+            assert np.array_equal(cache.lookup(ids), plain.lookup(ids))
+
+    def test_update_reaches_table(self):
+        cache = _cache()
+        cache.lookup(np.array([1]))
+        before = cache.table.lookup(np.array([1])).copy()
+        cache.update(np.array([1]), np.ones((1, 4), dtype=np.float32))
+        assert np.allclose(cache.table.lookup(np.array([1])) - before,
+                           1.0)
+
+
+class TestHitAccounting:
+    def test_skewed_stream_hits_fast_tiers(self):
+        field = FieldSpec(name="f", vocab_size=50_000, embedding_dim=4,
+                          zipf_exponent=1.3)
+        sampler = FieldSampler(field, seed=2)
+        table = EmbeddingTable(dim=4, seed=0)
+        cache = MultiLevelCache(
+            table,
+            tiers=(
+                CacheTier("hbm", 2_000 * 16, 1e-12),
+                CacheTier("dram", 20_000 * 16, 1e-11),
+                CacheTier("ssd", float("inf"), 1e-9),
+            ),
+            warmup_iters=5, flush_iters=5)
+        for _step in range(40):
+            cache.lookup(sampler.sample_batch(256))
+        fractions = cache.hit_fractions()
+        assert fractions["hbm"] > 0.1
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_access_cost_prefers_hot_placement(self):
+        cache = _cache(warmup=1, flush=1, hot_rows=2, warm_rows=4)
+        for _step in range(4):
+            cache.lookup(np.array([1, 1, 1, 1]))
+        hot_cost = cache.expected_access_cost(np.array([1]))
+        cold_cost = cache.expected_access_cost(np.array([999]))
+        assert hot_cost < cold_cost
+
+    def test_no_hits_recorded_in_warmup(self):
+        cache = _cache(warmup=10)
+        cache.lookup(np.array([1, 2]))
+        assert all(stats.hits == 0 for stats in cache.stats.values())
+
+    def test_empty_hit_fractions(self):
+        cache = _cache(warmup=10)
+        assert sum(cache.hit_fractions().values()) == 0.0

@@ -1,0 +1,168 @@
+"""Gradient checks for the interaction modules."""
+
+import numpy as np
+import pytest
+
+from repro.nn.interactions import (
+    AttentionPooling,
+    GruPooling,
+    dot_interaction,
+    dot_interaction_grad,
+    fm_interaction,
+    fm_interaction_grad,
+)
+
+
+def numerical_grad(func, array, epsilon=1e-6):
+    grad = np.zeros_like(array)
+    flat = array.ravel()
+    grad_flat = grad.ravel()
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        plus = func()
+        flat[index] = original - epsilon
+        minus = func()
+        flat[index] = original
+        grad_flat[index] = (plus - minus) / (2 * epsilon)
+    return grad
+
+
+class TestDotInteraction:
+    def test_output_shape(self):
+        fields = np.random.default_rng(0).standard_normal((4, 5, 3))
+        out = dot_interaction(fields)
+        assert out.shape == (4, 10)  # 5 choose 2
+
+    def test_symmetric_inputs(self):
+        fields = np.ones((1, 3, 2))
+        out = dot_interaction(fields)
+        assert np.allclose(out, 2.0)
+
+    def test_gradient_matches_numerical(self):
+        rng = np.random.default_rng(1)
+        fields = rng.standard_normal((2, 3, 2))
+        upstream = rng.standard_normal((2, 3))
+
+        def loss():
+            return float((dot_interaction(fields) * upstream).sum())
+
+        expected = numerical_grad(loss, fields)
+        grad = dot_interaction_grad(fields, upstream)
+        assert np.allclose(grad, expected, atol=1e-5)
+
+
+class TestFmInteraction:
+    def test_output_shape(self):
+        fields = np.random.default_rng(0).standard_normal((4, 5, 3))
+        assert fm_interaction(fields).shape == (4, 1)
+
+    def test_known_value(self):
+        # Two identical unit fields: 0.5*((2)^2 - 2) per dim = 1.0/dim.
+        fields = np.ones((1, 2, 3))
+        assert fm_interaction(fields)[0, 0] == pytest.approx(3.0)
+
+    def test_gradient_matches_numerical(self):
+        rng = np.random.default_rng(2)
+        fields = rng.standard_normal((2, 4, 3))
+        upstream = rng.standard_normal(2)
+
+        def loss():
+            return float((fm_interaction(fields).ravel()
+                          * upstream).sum())
+
+        expected = numerical_grad(loss, fields)
+        grad = fm_interaction_grad(fields, upstream)
+        assert np.allclose(grad, expected, atol=1e-5)
+
+
+class TestAttentionPooling:
+    def test_output_shape(self):
+        pooler = AttentionPooling(4, "a", np.random.default_rng(0))
+        out = pooler.forward(np.random.default_rng(1)
+                             .standard_normal((3, 7, 4)))
+        assert out.shape == (3, 4)
+
+    def test_weights_sum_to_one(self):
+        pooler = AttentionPooling(2, "a", np.random.default_rng(0))
+        sequence = np.random.default_rng(1).standard_normal((2, 5, 2))
+        pooler.forward(sequence)
+        _seq, weights = pooler._cache
+        assert np.allclose(weights.sum(axis=1), 1.0)
+
+    def test_sequence_gradient_matches_numerical(self):
+        rng = np.random.default_rng(3)
+        pooler = AttentionPooling(3, "a", rng)
+        sequence = rng.standard_normal((2, 4, 3))
+        upstream = rng.standard_normal((2, 3))
+
+        def loss():
+            return float((pooler.forward(sequence) * upstream).sum())
+
+        expected = numerical_grad(loss, sequence)
+        pooler.forward(sequence)
+        grad = pooler.backward(upstream)
+        assert np.allclose(grad, expected, atol=1e-5)
+
+    def test_query_gradient_matches_numerical(self):
+        rng = np.random.default_rng(4)
+        pooler = AttentionPooling(3, "a", rng)
+        sequence = rng.standard_normal((2, 4, 3))
+        upstream = rng.standard_normal((2, 3))
+
+        def loss():
+            return float((pooler.forward(sequence) * upstream).sum())
+
+        expected = numerical_grad(loss, pooler.query)
+        pooler.zero_grad()
+        pooler.forward(sequence)
+        pooler.backward(upstream)
+        assert np.allclose(pooler.grad_query, expected, atol=1e-5)
+
+    def test_backward_before_forward(self):
+        pooler = AttentionPooling(3, "a", np.random.default_rng(0))
+        with pytest.raises(RuntimeError):
+            pooler.backward(np.ones((1, 3)))
+
+
+class TestGruPooling:
+    def test_output_shape(self):
+        gru = GruPooling(4, "g", np.random.default_rng(0))
+        out = gru.forward(np.random.default_rng(1)
+                          .standard_normal((3, 6, 4)))
+        assert out.shape == (3, 4)
+
+    def test_sequence_gradient_matches_numerical(self):
+        rng = np.random.default_rng(5)
+        gru = GruPooling(2, "g", rng)
+        sequence = rng.standard_normal((2, 3, 2))
+        upstream = rng.standard_normal((2, 2))
+
+        def loss():
+            return float((gru.forward(sequence) * upstream).sum())
+
+        expected = numerical_grad(loss, sequence)
+        gru.forward(sequence)
+        grad = gru.backward(upstream)
+        assert np.allclose(grad, expected, atol=1e-4)
+
+    @pytest.mark.parametrize("matrix", ["w_z", "w_r", "w_h"])
+    def test_gate_gradients_match_numerical(self, matrix):
+        rng = np.random.default_rng(6)
+        gru = GruPooling(2, "g", rng)
+        sequence = rng.standard_normal((2, 3, 2))
+        upstream = rng.standard_normal((2, 2))
+
+        def loss():
+            return float((gru.forward(sequence) * upstream).sum())
+
+        expected = numerical_grad(loss, getattr(gru, matrix))
+        gru.zero_grad()
+        gru.forward(sequence)
+        gru.backward(upstream)
+        assert np.allclose(getattr(gru, f"grad_{matrix}"), expected,
+                           atol=1e-4)
+
+    def test_parameters_exposed(self):
+        gru = GruPooling(2, "g", np.random.default_rng(0))
+        assert set(gru.parameters()) == {"g.w_z", "g.w_r", "g.w_h"}

@@ -1,0 +1,147 @@
+"""Unit tests for the runnable WDL networks."""
+
+import numpy as np
+import pytest
+
+from repro.data.labeled import LabeledBatchIterator
+from repro.data.spec import DatasetSpec, FieldSpec
+from repro.nn.network import WdlNetwork
+from repro.nn.optim import Adagrad
+
+
+def _dataset(with_sequence=True):
+    fields = [
+        FieldSpec(name="a", vocab_size=500, embedding_dim=8),
+        FieldSpec(name="b", vocab_size=500, embedding_dim=8),
+    ]
+    if with_sequence:
+        fields.append(FieldSpec(name="s", vocab_size=800, embedding_dim=8,
+                                seq_length=4))
+    return DatasetSpec(name="d", num_numeric=2, fields=tuple(fields))
+
+
+def _batch(dataset, size=32, seed=0):
+    return LabeledBatchIterator(dataset, size, noise_scale=0.5,
+                                seed=seed).next_batch()
+
+
+class TestConstruction:
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            WdlNetwork(_dataset(), variant="gpt")
+
+    @pytest.mark.parametrize("variant",
+                             ["wdl", "dlrm", "deepfm", "din", "dien"])
+    def test_forward_shapes(self, variant):
+        dataset = _dataset()
+        network = WdlNetwork(dataset, variant=variant, embedding_dim=8,
+                             mlp_layers=(16,), seed=0)
+        logits = network.forward(_batch(dataset))
+        assert logits.shape == (32,)
+        assert np.all(np.isfinite(logits))
+
+    def test_din_uses_attention(self):
+        network = WdlNetwork(_dataset(), variant="din")
+        assert len(network.poolers) == 1
+
+    def test_dien_uses_gru(self):
+        from repro.nn.interactions import GruPooling
+        network = WdlNetwork(_dataset(), variant="dien")
+        assert all(isinstance(p, GruPooling)
+                   for p in network.poolers.values())
+
+    def test_wdl_mean_pools(self):
+        network = WdlNetwork(_dataset(), variant="wdl")
+        assert network.poolers == {}
+
+
+class TestGradients:
+    def test_end_to_end_gradient_check(self):
+        """Numerical check through embeddings, pooling and MLP."""
+        dataset = _dataset()
+        network = WdlNetwork(dataset, variant="din", embedding_dim=4,
+                             mlp_layers=(6,), seed=1)
+        batch = _batch(dataset, size=8, seed=2)
+        upstream = np.random.default_rng(3).standard_normal(8)
+
+        layer = network.mlp[0]
+
+        def loss():
+            return float((network.forward(batch) * upstream).sum())
+
+        eps = 1e-6
+        expected = np.zeros_like(layer.weight)
+        for i in range(min(4, layer.weight.shape[0])):
+            for j in range(layer.weight.shape[1]):
+                original = layer.weight[i, j]
+                layer.weight[i, j] = original + eps
+                plus = loss()
+                layer.weight[i, j] = original - eps
+                minus = loss()
+                layer.weight[i, j] = original
+                expected[i, j] = (plus - minus) / (2 * eps)
+
+        network.zero_grad()
+        network.forward(batch)
+        network.backward(upstream)
+        assert np.allclose(layer.grad_weight[:4], expected[:4], atol=1e-4)
+
+    def test_backward_without_forward_errors(self):
+        network = WdlNetwork(_dataset(), variant="wdl")
+        with pytest.raises(RuntimeError):
+            network.backward(np.zeros(4))
+
+
+class TestTraining:
+    @pytest.mark.parametrize("variant",
+                             ["wdl", "dlrm", "deepfm", "din", "dien"])
+    def test_loss_decreases(self, variant):
+        dataset = _dataset()
+        network = WdlNetwork(dataset, variant=variant, embedding_dim=8,
+                             mlp_layers=(16,), seed=0)
+        iterator = LabeledBatchIterator(dataset, 256, noise_scale=0.3,
+                                        seed=0)
+        optimizer = Adagrad(lr=0.1)
+        losses = [network.train_step(batch, optimizer)
+                  for batch in iterator.batches(30)]
+        assert np.mean(losses[-5:]) < np.mean(losses[:5])
+
+    def test_train_step_requires_labels(self):
+        dataset = _dataset()
+        network = WdlNetwork(dataset, variant="wdl")
+        batch = _batch(dataset)
+        batch.labels = None
+        with pytest.raises(ValueError):
+            network.train_step(batch, Adagrad())
+
+    def test_predict_returns_probabilities(self):
+        dataset = _dataset()
+        network = WdlNetwork(dataset, variant="wdl")
+        probs = network.predict(_batch(dataset))
+        assert np.all((probs >= 0) & (probs <= 1))
+
+
+class TestStateManagement:
+    def test_dense_state_roundtrip(self):
+        dataset = _dataset()
+        network = WdlNetwork(dataset, variant="din", seed=0)
+        state = network.dense_state()
+        batch = _batch(dataset)
+        network.train_step(batch, Adagrad(lr=0.5))
+        network.load_dense_state(state)
+        for name, (value, _grad) in network.parameters().items():
+            assert np.array_equal(value, state[name])
+
+    def test_dense_state_is_a_copy(self):
+        dataset = _dataset()
+        network = WdlNetwork(dataset, variant="wdl", seed=0)
+        state = network.dense_state()
+        network.train_step(_batch(dataset), Adagrad(lr=0.5))
+        fresh = WdlNetwork(dataset, variant="wdl", seed=0)
+        for name, (value, _grad) in fresh.parameters().items():
+            assert np.array_equal(state[name], value)
+
+    def test_parameters_include_poolers(self):
+        network = WdlNetwork(_dataset(), variant="din")
+        assert any(name.startswith("att.")
+                   for name in network.parameters())

@@ -1,0 +1,146 @@
+"""Gradient checks for BatchNorm and the residual block."""
+
+import numpy as np
+import pytest
+
+from repro.nn.normalization import BatchNorm, ResidualBlock
+
+
+def numerical_grad(func, array, epsilon=1e-6):
+    grad = np.zeros_like(array)
+    flat = array.ravel()
+    grad_flat = grad.ravel()
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        plus = func()
+        flat[index] = original - epsilon
+        minus = func()
+        flat[index] = original
+        grad_flat[index] = (plus - minus) / (2 * epsilon)
+    return grad
+
+
+class TestBatchNorm:
+    def test_training_output_is_normalized(self):
+        bn = BatchNorm(4, "bn")
+        x = np.random.default_rng(0).standard_normal((64, 4)) * 5 + 3
+        out = bn.forward(x)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-7)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_running_statistics_track_batches(self):
+        bn = BatchNorm(2, "bn", momentum=0.5)
+        x = np.full((16, 2), 10.0)
+        bn.forward(x)
+        assert np.all(bn.running_mean > 0)
+
+    def test_eval_mode_uses_running_stats(self):
+        bn = BatchNorm(2, "bn", momentum=0.0)
+        rng = np.random.default_rng(0)
+        bn.forward(rng.standard_normal((64, 2)) + 5.0)
+        bn.training = False
+        single = bn.forward(np.array([[5.0, 5.0]]))
+        # Normalizing the mean input gives ~0 in eval mode.
+        assert np.allclose(single, 0.0, atol=0.5)
+
+    def test_input_gradient_matches_numerical(self):
+        rng = np.random.default_rng(1)
+        bn = BatchNorm(3, "bn")
+        x = rng.standard_normal((8, 3))
+        upstream = rng.standard_normal((8, 3))
+
+        def loss():
+            return float((bn.forward(x) * upstream).sum())
+
+        expected = numerical_grad(loss, x)
+        bn.forward(x)
+        grad = bn.backward(upstream)
+        assert np.allclose(grad, expected, atol=1e-4)
+
+    def test_gamma_beta_gradients_match_numerical(self):
+        rng = np.random.default_rng(2)
+        bn = BatchNorm(3, "bn")
+        x = rng.standard_normal((8, 3))
+        upstream = rng.standard_normal((8, 3))
+
+        def loss():
+            return float((bn.forward(x) * upstream).sum())
+
+        expected_gamma = numerical_grad(loss, bn.gamma)
+        expected_beta = numerical_grad(loss, bn.beta)
+        bn.zero_grad()
+        bn.forward(x)
+        bn.backward(upstream)
+        assert np.allclose(bn.grad_gamma, expected_gamma, atol=1e-4)
+        assert np.allclose(bn.grad_beta, expected_beta, atol=1e-4)
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            BatchNorm(2, "bn").backward(np.ones((1, 2)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchNorm(0, "bn")
+        with pytest.raises(ValueError):
+            BatchNorm(2, "bn", momentum=1.0)
+
+    def test_parameters(self):
+        bn = BatchNorm(2, "bn")
+        assert set(bn.parameters()) == {"bn.gamma", "bn.beta"}
+
+
+class TestResidualBlock:
+    def test_forward_shape(self):
+        block = ResidualBlock(4, "res", np.random.default_rng(0))
+        out = block.forward(np.random.default_rng(1)
+                            .standard_normal((8, 4)))
+        assert out.shape == (8, 4)
+
+    def test_identity_component(self):
+        """Zeroed branch weights leave relu(x) (the skip path)."""
+        block = ResidualBlock(3, "res", np.random.default_rng(0))
+        block.second.weight[:] = 0.0
+        block.second.bias[:] = 0.0
+        x = np.abs(np.random.default_rng(1).standard_normal((4, 3)))
+        assert np.allclose(block.forward(x), x)
+
+    def test_input_gradient_matches_numerical(self):
+        rng = np.random.default_rng(3)
+        block = ResidualBlock(3, "res", rng)
+        x = rng.standard_normal((4, 3))
+        upstream = rng.standard_normal((4, 3))
+
+        def loss():
+            return float((block.forward(x) * upstream).sum())
+
+        expected = numerical_grad(loss, x)
+        block.forward(x)
+        grad = block.backward(upstream)
+        assert np.allclose(grad, expected, atol=1e-4)
+
+    def test_weight_gradients_match_numerical(self):
+        rng = np.random.default_rng(4)
+        block = ResidualBlock(2, "res", rng)
+        x = rng.standard_normal((4, 2))
+        upstream = rng.standard_normal((4, 2))
+
+        def loss():
+            return float((block.forward(x) * upstream).sum())
+
+        expected = numerical_grad(loss, block.first.weight)
+        block.zero_grad()
+        block.forward(x)
+        block.backward(upstream)
+        assert np.allclose(block.first.grad_weight, expected, atol=1e-4)
+
+    def test_parameters_cover_both_layers(self):
+        block = ResidualBlock(2, "res", np.random.default_rng(0))
+        names = set(block.parameters())
+        assert "res.fc1.weight" in names
+        assert "res.fc2.bias" in names
+
+    def test_backward_before_forward(self):
+        block = ResidualBlock(2, "res", np.random.default_rng(0))
+        with pytest.raises(RuntimeError):
+            block.backward(np.ones((1, 2)))

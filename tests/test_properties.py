@@ -1,0 +1,161 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.packing import pack_by_dimension
+from repro.data.spec import DatasetSpec, FieldSpec
+from repro.data.statistics import coverage_of_top_fraction
+from repro.data.synthetic import BoundedZipf
+from repro.embedding import EmbeddingTable, HybridHash, shard_for_id
+from repro.nn.loss import bce_loss
+from repro.nn.metrics import auc_score
+from repro.sim import Engine, Phase, Resource, ResourceKind, SimTask
+
+settings.register_profile("repro", deadline=None, max_examples=40)
+settings.load_profile("repro")
+
+
+# -- simulator invariants -----------------------------------------------------
+
+@given(capacity=st.floats(0.1, 1e6),
+       rates=st.lists(st.floats(0.01, 1e6), min_size=1, max_size=12))
+def test_water_filling_never_exceeds_capacity(capacity, rates):
+    resource = Resource(ResourceKind.NET, capacity=capacity)
+    tasks = [SimTask(f"t{i}", [Phase(ResourceKind.NET, 1.0, max_rate=r)])
+             for i, r in enumerate(rates)]
+    resource.active.extend(tasks)
+    allocation = resource.allocate_rates()
+    assert sum(allocation.values()) <= capacity * (1 + 1e-9)
+    for task, rate in allocation.items():
+        assert rate <= task.current_phase.max_rate * (1 + 1e-9)
+
+
+@given(works=st.lists(st.floats(0.1, 1e3), min_size=1, max_size=10))
+def test_makespan_bounded_by_serial_and_parallel_time(works):
+    capacity = 10.0
+    resource = {ResourceKind.NET: Resource(ResourceKind.NET, capacity)}
+    tasks = [SimTask(f"t{i}", [Phase(ResourceKind.NET, work)])
+             for i, work in enumerate(works)]
+    result = Engine(resource).run(tasks)
+    total = sum(works)
+    # Processor sharing: total throughput is exactly the capacity when
+    # saturated, so makespan equals total/capacity for concurrent work.
+    assert result.makespan >= total / capacity * (1 - 1e-9)
+    assert result.makespan <= total / capacity * (1 + 1e-6) + 1e-9
+
+
+@given(works=st.lists(st.floats(0.1, 100.0), min_size=2, max_size=8))
+def test_chained_equals_sum(works):
+    capacity = 5.0
+    resource = {ResourceKind.NET: Resource(ResourceKind.NET, capacity)}
+    tasks = [SimTask(f"t{i}", [Phase(ResourceKind.NET, work)])
+             for i, work in enumerate(works)]
+    for before, after in zip(tasks[:-1], tasks[1:]):
+        after.depends_on(before)
+    result = Engine(resource).run(tasks)
+    assert math.isclose(result.makespan, sum(works) / capacity,
+                        rel_tol=1e-6)
+
+
+# -- data invariants ----------------------------------------------------------
+
+@given(vocab=st.integers(1, 10_000_000),
+       exponent=st.floats(0.5, 2.0),
+       size=st.integers(0, 2000),
+       seed=st.integers(0, 1000))
+def test_zipf_ids_always_in_vocabulary(vocab, exponent, size, seed):
+    zipf = BoundedZipf(vocab, exponent)
+    ids = zipf.sample(size, np.random.default_rng(seed))
+    assert ids.size == size
+    if size:
+        assert ids.min() >= 0
+        assert ids.max() < vocab
+
+
+@given(ids=st.lists(st.integers(0, 50), min_size=1, max_size=300),
+       fraction=st.floats(0.01, 1.0))
+def test_coverage_monotone_in_fraction(ids, fraction):
+    array = np.array(ids)
+    smaller = coverage_of_top_fraction(array, fraction / 2)
+    larger = coverage_of_top_fraction(array, fraction)
+    assert 0.0 <= smaller <= larger <= 1.0
+
+
+@given(ids=st.lists(st.integers(-10**9, 10**9), min_size=1, max_size=200),
+       shards=st.integers(1, 64))
+def test_sharding_total_and_stability(ids, shards):
+    array = np.array(ids, dtype=np.int64)
+    owners = shard_for_id(array, shards)
+    assert owners.shape == array.shape
+    assert owners.min() >= 0 and owners.max() < shards
+    assert np.array_equal(owners, shard_for_id(array, shards))
+
+
+# -- cache invariants ---------------------------------------------------------
+
+@given(queries=st.lists(
+    st.lists(st.integers(0, 200), min_size=1, max_size=30),
+    min_size=1, max_size=15),
+    hot_rows=st.integers(0, 100),
+    warmup=st.integers(0, 5))
+def test_hybrid_hash_transparent(queries, hot_rows, warmup):
+    """Cache contents never change lookup results (Algorithm 1)."""
+    cache = HybridHash(EmbeddingTable(dim=2, seed=9),
+                       hot_bytes=hot_rows * 8, warmup_iters=warmup,
+                       flush_iters=2)
+    plain = EmbeddingTable(dim=2, seed=9)
+    for ids in queries:
+        array = np.array(ids)
+        assert np.array_equal(cache.lookup(array), plain.lookup(array))
+    assert 0.0 <= cache.stats.hit_ratio <= 1.0
+
+
+# -- packing invariants -------------------------------------------------------
+
+@given(dims=st.lists(st.sampled_from([4, 8, 16, 32, 64, 128]),
+                     min_size=1, max_size=24),
+       batch=st.integers(1, 4096))
+def test_packing_conserves_fields_and_volume(dims, batch):
+    dataset = DatasetSpec(name="d", fields=tuple(
+        FieldSpec(name=f"f{i}", vocab_size=1000, embedding_dim=dim)
+        for i, dim in enumerate(dims)))
+    groups = pack_by_dimension(dataset, batch)
+    # Every field appears with total shard weight 1.0.
+    weights: dict = {}
+    for group in groups:
+        for spec in group.fields:
+            weights[spec.name] = weights.get(spec.name, 0.0) \
+                + group.shard_fraction
+    assert set(weights) == {spec.name for spec in dataset.fields}
+    for weight in weights.values():
+        assert math.isclose(weight, 1.0, rel_tol=1e-9) or weight <= 1.0
+    # Total processed IDs are conserved.
+    total = sum(group.ids_per_batch(batch) for group in groups)
+    assert math.isclose(total, batch * len(dims), rel_tol=1e-9)
+
+
+# -- metric invariants --------------------------------------------------------
+
+@given(labels=st.lists(st.integers(0, 1), min_size=2, max_size=200),
+       seed=st.integers(0, 100))
+def test_auc_complement_symmetry(labels, seed):
+    array = np.array(labels, dtype=float)
+    scores = np.random.default_rng(seed).standard_normal(array.size)
+    auc = auc_score(array, scores)
+    flipped = auc_score(array, -scores)
+    if 0 < array.sum() < array.size:
+        assert math.isclose(auc + flipped, 1.0, abs_tol=1e-9)
+    else:
+        assert auc == 0.5
+
+
+@given(logits=st.lists(st.floats(-30, 30), min_size=1, max_size=100),
+       seed=st.integers(0, 50))
+def test_bce_nonnegative(logits, seed):
+    array = np.array(logits)
+    labels = (np.random.default_rng(seed).random(array.size)
+              > 0.5).astype(float)
+    assert bce_loss(array, labels) >= 0.0

@@ -1,0 +1,189 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.hardware import EFLOPS_NODE, GN6E_NODE
+from repro.sim import Engine, Phase, Resource, ResourceKind, SimTask
+from repro.sim.engine import build_node_resources
+
+
+def _engine(**capacities):
+    resources = {
+        kind: Resource(kind, capacity=capacity)
+        for kind, capacity in capacities.items()
+    }
+    return Engine(resources)
+
+
+class TestBasicExecution:
+    def test_single_task_duration(self):
+        engine = _engine(**{ResourceKind.NET: 10.0})
+        task = SimTask("t", [Phase(ResourceKind.NET, 100.0)])
+        result = engine.run([task])
+        assert result.makespan == pytest.approx(10.0)
+
+    def test_max_rate_limits_single_task(self):
+        engine = _engine(**{ResourceKind.NET: 10.0})
+        task = SimTask("t", [Phase(ResourceKind.NET, 100.0, max_rate=2.0)])
+        result = engine.run([task])
+        assert result.makespan == pytest.approx(50.0)
+
+    def test_processor_sharing_two_tasks(self):
+        engine = _engine(**{ResourceKind.NET: 10.0})
+        tasks = [SimTask(f"t{i}", [Phase(ResourceKind.NET, 50.0)])
+                 for i in range(2)]
+        result = engine.run(tasks)
+        # Two tasks share 10 units/s: both finish at t=10.
+        assert result.makespan == pytest.approx(10.0)
+
+    def test_sequential_phases(self):
+        engine = _engine(**{ResourceKind.NET: 10.0,
+                            ResourceKind.GPU_SM: 5.0})
+        task = SimTask("t", [Phase(ResourceKind.NET, 100.0),
+                             Phase(ResourceKind.GPU_SM, 50.0)])
+        result = engine.run([task])
+        assert result.makespan == pytest.approx(10.0 + 10.0)
+
+    def test_zero_phase_tasks_complete(self):
+        engine = _engine(**{ResourceKind.NET: 10.0})
+        result = engine.run([SimTask("empty", [])])
+        assert result.makespan == 0.0
+        assert result.task_count == 1
+
+    def test_zero_work_phase_skipped(self):
+        engine = _engine(**{ResourceKind.NET: 10.0})
+        task = SimTask("t", [Phase(ResourceKind.NET, 0.0),
+                             Phase(ResourceKind.NET, 10.0)])
+        result = engine.run([task])
+        assert result.makespan == pytest.approx(1.0)
+
+
+class TestDependencies:
+    def test_chain_serializes(self):
+        engine = _engine(**{ResourceKind.NET: 10.0})
+        first = SimTask("a", [Phase(ResourceKind.NET, 50.0)])
+        second = SimTask("b", [Phase(ResourceKind.NET, 50.0)])
+        second.depends_on(first)
+        result = engine.run([first, second])
+        assert result.makespan == pytest.approx(10.0)
+
+    def test_diamond(self):
+        engine = _engine(**{ResourceKind.NET: 10.0})
+        a = SimTask("a", [Phase(ResourceKind.NET, 10.0)])
+        b = SimTask("b", [Phase(ResourceKind.NET, 10.0)])
+        c = SimTask("c", [Phase(ResourceKind.NET, 10.0)])
+        d = SimTask("d", [Phase(ResourceKind.NET, 10.0)])
+        b.depends_on(a)
+        c.depends_on(a)
+        d.depends_on(b)
+        d.depends_on(c)
+        result = engine.run([a, b, c, d], keep_finish_times=True)
+        # a: 1s; b,c share: 2s; d: 1s => 4s total.
+        assert result.makespan == pytest.approx(4.0)
+        assert result.finish_times["d"] == pytest.approx(4.0)
+
+    def test_cycle_detection(self):
+        engine = _engine(**{ResourceKind.NET: 10.0})
+        a = SimTask("a", [Phase(ResourceKind.NET, 10.0)])
+        b = SimTask("b", [Phase(ResourceKind.NET, 10.0)])
+        a.depends_on(b)
+        b.depends_on(a)
+        with pytest.raises(RuntimeError):
+            engine.run([a, b])
+
+    def test_zero_work_dependency_chain(self):
+        engine = _engine(**{ResourceKind.NET: 10.0})
+        tasks = [SimTask(f"c{i}", []) for i in range(5)]
+        for before, after in zip(tasks[:-1], tasks[1:]):
+            after.depends_on(before)
+        tail = SimTask("tail", [Phase(ResourceKind.NET, 10.0)])
+        tail.depends_on(tasks[-1])
+        result = engine.run([*tasks, tail])
+        assert result.makespan == pytest.approx(1.0)
+
+
+class TestSlots:
+    def test_single_slot_serializes(self):
+        resources = {ResourceKind.LAUNCH: Resource(
+            ResourceKind.LAUNCH, capacity=1.0, slots=1)}
+        tasks = [SimTask(f"t{i}", [Phase(ResourceKind.LAUNCH, 1.0,
+                                         max_rate=1.0)])
+                 for i in range(3)]
+        result = Engine(resources).run(tasks)
+        assert result.makespan == pytest.approx(3.0)
+
+    def test_multi_slot_parallelizes(self):
+        resources = {ResourceKind.LAUNCH: Resource(
+            ResourceKind.LAUNCH, capacity=3.0, slots=3)}
+        tasks = [SimTask(f"t{i}", [Phase(ResourceKind.LAUNCH, 1.0,
+                                         max_rate=1.0)])
+                 for i in range(3)]
+        result = Engine(resources).run(tasks)
+        assert result.makespan == pytest.approx(1.0)
+
+    def test_queue_preserves_fifo(self):
+        resources = {ResourceKind.LAUNCH: Resource(
+            ResourceKind.LAUNCH, capacity=1.0, slots=1)}
+        tasks = [SimTask(f"t{i}", [Phase(ResourceKind.LAUNCH, 1.0,
+                                         max_rate=1.0)])
+                 for i in range(4)]
+        result = Engine(resources).run(tasks, keep_finish_times=True)
+        finishes = [result.finish_times[f"t{i}"] for i in range(4)]
+        assert finishes == sorted(finishes)
+
+
+class TestResultMetrics:
+    def test_busy_fraction(self):
+        engine = _engine(**{ResourceKind.NET: 10.0,
+                            ResourceKind.GPU_SM: 10.0})
+        task = SimTask("t", [Phase(ResourceKind.NET, 50.0),
+                             Phase(ResourceKind.GPU_SM, 50.0)])
+        result = engine.run([task])
+        assert result.busy_fraction(ResourceKind.NET) \
+            == pytest.approx(0.5)
+
+    def test_mean_rate(self):
+        engine = _engine(**{ResourceKind.NET: 10.0})
+        task = SimTask("t", [Phase(ResourceKind.NET, 100.0)])
+        result = engine.run([task])
+        assert result.mean_rate(ResourceKind.NET) == pytest.approx(10.0)
+
+    def test_missing_task_error(self):
+        engine = _engine(**{ResourceKind.NET: 10.0})
+        orphan = SimTask("o", [Phase(ResourceKind.NET, 1.0)])
+        orphan.indegree = 1  # dependency that never resolves
+        with pytest.raises(RuntimeError):
+            engine.run([orphan])
+
+
+class TestNodeResources:
+    def test_eflops_resources(self):
+        resources = build_node_resources(EFLOPS_NODE)
+        assert ResourceKind.NVLINK not in resources
+        assert resources[ResourceKind.GPU_SM].capacity \
+            == EFLOPS_NODE.gpu.fp32_flops
+
+    def test_gn6e_shares_host_resources(self):
+        resources = build_node_resources(GN6E_NODE)
+        assert ResourceKind.NVLINK in resources
+        assert resources[ResourceKind.DRAM].capacity \
+            == pytest.approx(GN6E_NODE.dram.bandwidth / 8)
+
+    def test_launch_capacity_scales_with_slots(self):
+        resources = build_node_resources(EFLOPS_NODE, launch_slots=8)
+        assert resources[ResourceKind.LAUNCH].capacity == 8.0
+        assert resources[ResourceKind.LAUNCH].slots == 8
+
+    def test_net_efficiency_applied(self):
+        full = build_node_resources(EFLOPS_NODE, net_efficiency=1.0)
+        derated = build_node_resources(EFLOPS_NODE, net_efficiency=0.5)
+        assert derated[ResourceKind.NET].capacity \
+            == pytest.approx(full[ResourceKind.NET].capacity / 2)
+
+    def test_engine_reusable_across_runs(self):
+        resources = build_node_resources(EFLOPS_NODE)
+        engine = Engine(resources)
+        for _round in range(2):
+            task = SimTask("t", [Phase(ResourceKind.GPU_SM, 1e9)])
+            result = engine.run([task])
+            assert result.makespan > 0

@@ -1,0 +1,86 @@
+"""Unit tests for trace-derived metrics (timelines, CDFs)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import (
+    bandwidth_timeline,
+    busy_fraction,
+    mean_utilization,
+    utilization_cdf,
+    utilization_timeline,
+)
+from repro.sim.resource import ResourceKind
+from repro.sim.trace import TraceRecorder
+
+
+def _recorder_with_half_busy():
+    recorder = TraceRecorder({ResourceKind.NET: 10.0})
+    # Busy at full rate for the first half of a 2-second run.
+    recorder.add_interval(0.0, 1.0, {ResourceKind.NET: 10.0})
+    return recorder
+
+
+class TestTimelines:
+    def test_utilization_buckets(self):
+        recorder = _recorder_with_half_busy()
+        times, util = utilization_timeline(recorder, ResourceKind.NET,
+                                           makespan=2.0, bucket=0.5)
+        assert len(util) == 4
+        assert util[0] == pytest.approx(1.0)
+        assert util[3] == pytest.approx(0.0)
+        assert times[1] == pytest.approx(0.5)
+
+    def test_bandwidth_buckets(self):
+        recorder = _recorder_with_half_busy()
+        _times, rates = bandwidth_timeline(recorder, ResourceKind.NET,
+                                           makespan=2.0, bucket=1.0)
+        assert rates[0] == pytest.approx(10.0)
+        assert rates[1] == pytest.approx(0.0)
+
+    def test_partial_bucket_overlap(self):
+        recorder = TraceRecorder({ResourceKind.NET: 10.0})
+        recorder.add_interval(0.25, 0.75, {ResourceKind.NET: 10.0})
+        _times, util = utilization_timeline(recorder, ResourceKind.NET,
+                                            makespan=1.0, bucket=0.5)
+        assert util[0] == pytest.approx(0.5)
+        assert util[1] == pytest.approx(0.5)
+
+    def test_empty_makespan(self):
+        recorder = TraceRecorder({ResourceKind.NET: 10.0})
+        _times, util = utilization_timeline(recorder, ResourceKind.NET,
+                                            makespan=0.0)
+        assert util.size == 0
+
+
+class TestCdf:
+    def test_cdf_is_monotone_and_bounded(self):
+        recorder = _recorder_with_half_busy()
+        levels, cdf = utilization_cdf(recorder, ResourceKind.NET,
+                                      makespan=2.0, bucket=0.25)
+        assert np.all(np.diff(levels) >= 0)
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_half_busy_median(self):
+        recorder = _recorder_with_half_busy()
+        levels, _cdf = utilization_cdf(recorder, ResourceKind.NET,
+                                       makespan=2.0, bucket=0.25)
+        assert float(np.median(levels)) == pytest.approx(0.5)
+
+
+class TestScalars:
+    def test_busy_fraction(self):
+        recorder = _recorder_with_half_busy()
+        assert busy_fraction(recorder, ResourceKind.NET, 2.0) \
+            == pytest.approx(0.5)
+
+    def test_mean_utilization(self):
+        recorder = _recorder_with_half_busy()
+        assert mean_utilization(recorder, ResourceKind.NET, 2.0) \
+            == pytest.approx(0.5)
+
+    def test_zero_makespan_guards(self):
+        recorder = _recorder_with_half_busy()
+        assert busy_fraction(recorder, ResourceKind.NET, 0.0) == 0.0
+        assert mean_utilization(recorder, ResourceKind.NET, 0.0) == 0.0

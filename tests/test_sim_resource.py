@@ -1,0 +1,105 @@
+"""Unit tests for resources, phases and water-filling allocation."""
+
+import math
+
+import pytest
+
+from repro.sim import Engine, Phase, Resource, ResourceKind, SimTask
+from repro.sim.resource import (
+    COMMUNICATION_KINDS,
+    COMPUTE_KINDS,
+    MEMORY_KINDS,
+)
+
+
+class TestPhase:
+    def test_defaults(self):
+        phase = Phase(ResourceKind.GPU_SM, 100.0)
+        assert phase.max_rate == math.inf
+
+    def test_rejects_negative_work(self):
+        with pytest.raises(ValueError):
+            Phase(ResourceKind.NET, -1.0)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            Phase(ResourceKind.NET, 1.0, max_rate=0.0)
+
+    def test_zero_work_allowed(self):
+        assert Phase(ResourceKind.NET, 0.0).work == 0.0
+
+
+class TestResourceValidation:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            Resource(ResourceKind.NET, capacity=0.0)
+
+    def test_rejects_zero_slots(self):
+        with pytest.raises(ValueError):
+            Resource(ResourceKind.LAUNCH, capacity=1.0, slots=0)
+
+    def test_free_slot_logic(self):
+        resource = Resource(ResourceKind.LAUNCH, capacity=1.0, slots=1)
+        assert resource.has_free_slot()
+        resource.active.append(object())
+        assert not resource.has_free_slot()
+
+    def test_unbounded_slots(self):
+        resource = Resource(ResourceKind.NET, capacity=1.0)
+        resource.active.extend(object() for _ in range(100))
+        assert resource.has_free_slot()
+
+
+def _task_with_rate(max_rate):
+    return SimTask("t", [Phase(ResourceKind.NET, 10.0, max_rate=max_rate)])
+
+
+class TestWaterFilling:
+    def test_equal_split_when_unbounded(self):
+        resource = Resource(ResourceKind.NET, capacity=10.0)
+        tasks = [_task_with_rate(math.inf) for _ in range(4)]
+        resource.active.extend(tasks)
+        rates = resource.allocate_rates()
+        assert all(rate == pytest.approx(2.5) for rate in rates.values())
+
+    def test_capped_task_leaves_share_for_others(self):
+        resource = Resource(ResourceKind.NET, capacity=10.0)
+        slow = _task_with_rate(1.0)
+        fast = _task_with_rate(math.inf)
+        resource.active.extend([slow, fast])
+        rates = resource.allocate_rates()
+        assert rates[slow] == pytest.approx(1.0)
+        assert rates[fast] == pytest.approx(9.0)
+
+    def test_total_never_exceeds_capacity(self):
+        resource = Resource(ResourceKind.NET, capacity=10.0)
+        tasks = [_task_with_rate(rate) for rate in (1.0, 2.0, math.inf,
+                                                    math.inf, 0.5)]
+        resource.active.extend(tasks)
+        total = sum(resource.allocate_rates().values())
+        assert total <= 10.0 + 1e-9
+
+    def test_all_capped_below_fair_share(self):
+        resource = Resource(ResourceKind.NET, capacity=100.0)
+        tasks = [_task_with_rate(1.0) for _ in range(3)]
+        resource.active.extend(tasks)
+        rates = resource.allocate_rates()
+        assert all(rate == pytest.approx(1.0) for rate in rates.values())
+
+    def test_empty_allocation(self):
+        resource = Resource(ResourceKind.NET, capacity=10.0)
+        assert resource.allocate_rates() == {}
+
+
+class TestKindGroups:
+    def test_groups_are_disjoint(self):
+        assert not (COMMUNICATION_KINDS & MEMORY_KINDS)
+        assert not (COMMUNICATION_KINDS & COMPUTE_KINDS)
+        assert not (MEMORY_KINDS & COMPUTE_KINDS)
+
+    def test_net_is_communication(self):
+        assert ResourceKind.NET in COMMUNICATION_KINDS
+        assert ResourceKind.NVLINK in COMMUNICATION_KINDS
+
+    def test_pcie_is_memory(self):
+        assert ResourceKind.PCIE in MEMORY_KINDS

@@ -1,0 +1,107 @@
+"""Unit tests for trace recording and derived breakdowns."""
+
+import pytest
+
+from repro.sim.resource import ResourceKind
+from repro.sim.trace import ResourceTrace, TraceRecorder
+
+
+def _recorder():
+    return TraceRecorder({
+        ResourceKind.NET: 10.0,
+        ResourceKind.GPU_SM: 100.0,
+        ResourceKind.PCIE: 10.0,
+        ResourceKind.LAUNCH: 1.0,
+        ResourceKind.HBM: 100.0,
+        ResourceKind.DRAM: 50.0,
+    })
+
+
+class TestRecorder:
+    def test_accumulates_busy_and_work(self):
+        recorder = _recorder()
+        recorder.add_interval(0.0, 1.0, {ResourceKind.NET: 5.0})
+        recorder.add_interval(1.0, 2.0, {ResourceKind.NET: 10.0})
+        trace = recorder.trace(ResourceKind.NET)
+        assert trace.busy_seconds == pytest.approx(2.0)
+        assert trace.work_done == pytest.approx(15.0)
+
+    def test_zero_rate_not_recorded(self):
+        recorder = _recorder()
+        recorder.add_interval(0.0, 1.0, {ResourceKind.NET: 0.0})
+        assert recorder.trace(ResourceKind.NET).busy_seconds == 0.0
+
+    def test_zero_duration_ignored(self):
+        recorder = _recorder()
+        recorder.add_interval(1.0, 1.0, {ResourceKind.NET: 5.0})
+        assert recorder.trace(ResourceKind.NET).segments == []
+
+    def test_utilization(self):
+        trace = ResourceTrace(kind=ResourceKind.NET, capacity=10.0,
+                              work_done=50.0)
+        assert trace.utilization(10.0) == pytest.approx(0.5)
+        assert trace.utilization(0.0) == 0.0
+
+    def test_kinds(self):
+        assert set(_recorder().kinds()) == {
+            ResourceKind.NET, ResourceKind.GPU_SM, ResourceKind.PCIE,
+            ResourceKind.LAUNCH, ResourceKind.HBM, ResourceKind.DRAM}
+
+
+class TestUnionBusy:
+    def test_disjoint_intervals_add(self):
+        recorder = _recorder()
+        recorder.add_interval(0.0, 1.0, {ResourceKind.GPU_SM: 1.0})
+        recorder.add_interval(2.0, 3.0, {ResourceKind.HBM: 1.0})
+        union = recorder.union_busy_seconds(
+            (ResourceKind.GPU_SM, ResourceKind.HBM))
+        assert union == pytest.approx(2.0)
+
+    def test_overlapping_intervals_merge(self):
+        recorder = _recorder()
+        recorder.add_interval(0.0, 2.0, {ResourceKind.GPU_SM: 1.0})
+        recorder.add_interval(1.0, 3.0, {ResourceKind.HBM: 1.0})
+        union = recorder.union_busy_seconds(
+            (ResourceKind.GPU_SM, ResourceKind.HBM))
+        assert union == pytest.approx(3.0)
+
+    def test_empty(self):
+        assert _recorder().union_busy_seconds(
+            (ResourceKind.GPU_SM,)) == 0.0
+
+    def test_contained_interval(self):
+        recorder = _recorder()
+        recorder.add_interval(0.0, 5.0, {ResourceKind.GPU_SM: 1.0})
+        recorder.add_interval(1.0, 2.0, {ResourceKind.HBM: 1.0})
+        assert recorder.union_busy_seconds(
+            (ResourceKind.GPU_SM, ResourceKind.HBM)) == pytest.approx(5.0)
+
+
+class TestBreakdown:
+    def test_exposed_vs_active(self):
+        recorder = _recorder()
+        # Communication alone for 1s, then overlapped with compute 1s.
+        recorder.add_interval(0.0, 1.0, {ResourceKind.NET: 5.0})
+        recorder.add_interval(1.0, 2.0, {ResourceKind.NET: 5.0,
+                                         ResourceKind.GPU_SM: 50.0})
+        breakdown = recorder.category_breakdown(makespan=2.0)
+        assert breakdown["communication"]["active"] == pytest.approx(1.0)
+        assert breakdown["communication"]["exposed"] == pytest.approx(0.5)
+        assert breakdown["compute"]["active"] == pytest.approx(0.5)
+        assert breakdown["compute"]["exposed"] == pytest.approx(0.0)
+
+    def test_all_categories_present(self):
+        breakdown = _recorder().category_breakdown(makespan=1.0)
+        assert set(breakdown) == {"compute", "memory", "communication",
+                                  "launch"}
+
+    def test_memory_category_includes_pcie(self):
+        recorder = _recorder()
+        recorder.add_interval(0.0, 1.0, {ResourceKind.PCIE: 5.0})
+        breakdown = recorder.category_breakdown(makespan=1.0)
+        assert breakdown["memory"]["active"] == pytest.approx(1.0)
+        assert breakdown["memory"]["exposed"] == pytest.approx(1.0)
+
+    def test_zero_makespan(self):
+        breakdown = _recorder().category_breakdown(makespan=0.0)
+        assert breakdown["compute"]["active"] == 0.0
