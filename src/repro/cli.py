@@ -8,6 +8,7 @@ Commands:
 * ``train`` — real numpy training with AUC (Tab. III path).
 * ``experiment`` — run one table/figure harness by id.
 * ``gantt`` — ASCII utilization timeline of a simulated run.
+* ``serve`` — online inference serving simulation with SLO metrics.
 """
 
 from __future__ import annotations
@@ -22,6 +23,7 @@ from repro.experiments import runner as experiment_runner
 from repro.experiments.common import format_table, mini_criteo
 from repro.hardware import eflops_cluster, gn6e_cluster
 from repro.models import MODEL_BUILDERS
+from repro.serving import CACHE_KINDS, simulate_serving
 from repro.sim.export import ascii_gantt
 from repro.training import train_and_evaluate
 
@@ -136,6 +138,24 @@ def cmd_experiment(args) -> int:
     raise SystemExit(f"no experiment matches {args.name!r}; see `list`")
 
 
+def cmd_serve(args) -> int:
+    report = simulate_serving(
+        num_requests=args.requests, seed=args.seed, rate_qps=args.rate,
+        cache=args.cache, hot_rows=args.hot_rows,
+        warm_rows=args.warm_rows, max_batch_size=args.batch_max,
+        max_wait_s=args.max_wait_ms / 1e3, slo_s=args.slo_ms / 1e3,
+        micro_batch_rows=args.micro_rows)
+    print(f"serving {args.requests} requests @ {args.rate:,.0f} qps "
+          f"(cache={args.cache}, slo={args.slo_ms}ms, seed={args.seed})")
+    print(format_table([report.row()], list(report.row())))
+    stages = report.stage_seconds
+    total = sum(stages.values()) or 1.0
+    print("stage breakdown: " + "  ".join(
+        f"{name}={seconds / total:.0%}"
+        for name, seconds in stages.items()))
+    return 0
+
+
 def cmd_gantt(args) -> int:
     model = _build_model(args.model, args.dataset, args.scale)
     report = _run(args.framework, model, args.cluster, args.batch,
@@ -187,6 +207,22 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="run one table/figure harness")
     experiment.add_argument("name", help="substring of the experiment id")
     experiment.set_defaults(func=cmd_experiment)
+
+    serve = sub.add_parser("serve", help="online serving simulation")
+    serve.add_argument("--requests", type=int, default=10_000)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--rate", type=float, default=20_000.0,
+                       help="mean arrival rate in requests/second")
+    serve.add_argument("--cache", default="hbm-dram",
+                       choices=CACHE_KINDS)
+    serve.add_argument("--hot-rows", type=int, default=4_000)
+    serve.add_argument("--warm-rows", type=int, default=60_000)
+    serve.add_argument("--batch-max", type=int, default=64)
+    serve.add_argument("--max-wait-ms", type=float, default=2.0)
+    serve.add_argument("--slo-ms", type=float, default=20.0)
+    serve.add_argument("--micro-rows", type=int, default=16,
+                       help="Eq. 2 activation budget in requests")
+    serve.set_defaults(func=cmd_serve)
 
     gantt = sub.add_parser("gantt", help="ASCII utilization timeline")
     add_sim_args(gantt)

@@ -8,9 +8,23 @@ for the paper's 10M-100M-entry production vocabularies.
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
 from repro.data.spec import FieldSpec
+
+
+def stable_field_hash(name: str) -> int:
+    """Process-stable 32-bit hash of a field name.
+
+    Python's builtin ``hash`` on strings is randomized per process
+    (``PYTHONHASHSEED``), which silently breaks cross-run
+    reproducibility of anything seeded from it — two CLI invocations
+    with the same ``--seed`` would sample different ID streams.  All
+    seeding in this module derives from this CRC32 instead.
+    """
+    return zlib.crc32(name.encode("utf-8")) & 0xFFFFFFFF
 
 
 class BoundedZipf:
@@ -63,27 +77,41 @@ class BoundedZipf:
 
 
 class FieldSampler:
-    """Stateful per-field sampler producing ID batches for a field."""
+    """Stateful per-field sampler producing ID batches for a field.
 
-    def __init__(self, field: FieldSpec, seed: int = 0):
+    :param seed: seeds the sampler's own generator; two samplers built
+        with the same field and seed agree across processes (the
+        field-name mixing uses :func:`stable_field_hash`, never the
+        process-randomized builtin ``hash``).
+    :param rng: optional explicit generator; when given it replaces the
+        seed-derived one, so callers (e.g. the serving traffic
+        generator) can thread one stream through many samplers.
+    """
+
+    def __init__(self, field: FieldSpec, seed: int = 0,
+                 rng: np.random.Generator | None = None):
         self.field = field
         self._zipf = BoundedZipf(field.vocab_size, field.zipf_exponent)
         # Each field permutes ranks into ID space deterministically so
         # hot IDs differ across fields, as in real logs.  A cheap
         # multiplicative hash keeps memory O(1).
-        self._mix = (0x9E3779B97F4A7C15 ^ (hash(field.name) & 0xFFFFFFFF)) or 1
-        self._rng = np.random.default_rng(
-            seed ^ (hash(field.name) & 0x7FFFFFFF))
+        field_hash = stable_field_hash(field.name)
+        self._mix = (0x9E3779B97F4A7C15 ^ field_hash) or 1
+        self._rng = rng if rng is not None else np.random.default_rng(
+            seed ^ (field_hash & 0x7FFFFFFF))
 
-    def sample_batch(self, batch_size: int) -> np.ndarray:
+    def sample_batch(self, batch_size: int,
+                     rng: np.random.Generator | None = None) -> np.ndarray:
         """IDs for one batch, shape ``(batch_size * seq_length,)``.
 
         The returned values are *ranks mixed into ID space*: frequency
         order is preserved (lower ranks are more frequent), but the
-        mapping rank -> ID is field-specific.
+        mapping rank -> ID is field-specific.  ``rng`` overrides the
+        sampler's own stream for this batch.
         """
         count = batch_size * self.field.seq_length
-        ranks = self._zipf.sample(count, self._rng)
+        ranks = self._zipf.sample(count, rng if rng is not None
+                                  else self._rng)
         return self._mix_ranks(ranks)
 
     def _mix_ranks(self, ranks: np.ndarray) -> np.ndarray:

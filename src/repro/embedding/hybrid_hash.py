@@ -42,6 +42,16 @@ class CacheStats:
             return 0.0
         return self.hot_hits / self.queries
 
+    def as_dict(self) -> dict:
+        """Plain-dict snapshot for metrics export and benchmarks."""
+        return {
+            "hot_hits": self.hot_hits,
+            "cold_misses": self.cold_misses,
+            "flushes": self.flushes,
+            "queries": self.queries,
+            "hit_ratio": self.hit_ratio,
+        }
+
 
 class HybridHash:
     """Hot/cold cached embedding store (Algorithm 1).

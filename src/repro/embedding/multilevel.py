@@ -24,19 +24,26 @@ class CacheTier:
     """One storage tier of the hierarchy.
 
     :param capacity_bytes: how many embedding bytes the tier may pin.
-    :param access_seconds_per_byte: modeled access cost; only used for
+    :param access_seconds_per_byte: modeled bandwidth cost; used by
         the cost estimates in :meth:`MultiLevelCache.expected_access_cost`.
+    :param access_latency: fixed per-row access latency in seconds
+        (e.g. a PCIe round trip for DRAM reached from the GPU); this is
+        what makes tier placement move *tail* latency in the serving
+        path, where rows are small and bandwidth terms vanish.
     """
 
     name: str
     capacity_bytes: float
     access_seconds_per_byte: float
+    access_latency: float = 0.0
 
     def __post_init__(self) -> None:
         if self.capacity_bytes < 0:
             raise ValueError("capacity_bytes must be >= 0")
         if self.access_seconds_per_byte < 0:
             raise ValueError("access cost must be >= 0")
+        if self.access_latency < 0:
+            raise ValueError("access_latency must be >= 0")
 
 
 #: A typical PICASSO-era hierarchy (per-byte costs ~ 1/bandwidth).
@@ -57,6 +64,10 @@ class TierStats:
     """Per-tier hit statistics."""
 
     hits: int = 0
+
+    def as_dict(self) -> dict:
+        """Plain-dict snapshot for metrics export and benchmarks."""
+        return {"hits": self.hits}
 
 
 class MultiLevelCache:
@@ -136,8 +147,9 @@ class MultiLevelCache:
         cost = 0.0
         for raw in ids:
             index = self._placement.get(int(raw), len(self.tiers) - 1)
-            cost += row_bytes \
-                * self.tiers[index].access_seconds_per_byte
+            tier = self.tiers[index]
+            cost += tier.access_latency \
+                + row_bytes * tier.access_seconds_per_byte
         return cost
 
     def _rebuild_placement(self) -> None:
@@ -147,7 +159,12 @@ class MultiLevelCache:
         ordered = self.counter.top_k(self.counter.distinct_ids())
         cursor = 0
         for index, tier in enumerate(self.tiers[:-1]):
-            tier_rows = int(tier.capacity_bytes // row_bytes)
+            # An unbounded non-bottom tier pins everything that's left
+            # (float('inf') // row_bytes is nan, so clamp explicitly).
+            if tier.capacity_bytes == float("inf"):
+                tier_rows = len(ordered) - cursor
+            else:
+                tier_rows = int(tier.capacity_bytes // row_bytes)
             for key in ordered[cursor:cursor + tier_rows]:
                 placement[key] = index
             cursor += tier_rows
@@ -162,3 +179,18 @@ class MultiLevelCache:
             return {tier.name: 0.0 for tier in self.tiers}
         return {name: stats.hits / total
                 for name, stats in self.stats.items()}
+
+    def stats_as_dict(self) -> dict:
+        """Uniform cache-state export (mirrors ``CacheStats.as_dict``).
+
+        Returns per-tier hit counts and fractions plus the fast-tier
+        hit ratio, which is what the serving metrics report.
+        """
+        fractions = self.hit_fractions()
+        return {
+            "tiers": {name: stats.as_dict()
+                      for name, stats in self.stats.items()},
+            "hit_fractions": fractions,
+            "hit_ratio": fractions[self.tiers[0].name],
+            "queries": sum(stats.hits for stats in self.stats.values()),
+        }

@@ -20,6 +20,7 @@ from repro.experiments import (
     fig13_ips,
     fig14_interleaving,
     fig15_scaling,
+    serving_latency,
     tab03_auc,
     tab04_ablation,
     tab05_op_counts,
@@ -70,6 +71,8 @@ EXPERIMENTS = [
      lambda: tab09_production.run_production_summary()),
     ("Tab. X model-scale walltime",
      lambda: tab10_model_scale.run_model_scale()),
+    ("Serving latency-throughput",
+     lambda: serving_latency.run_serving_latency()),
 ]
 
 

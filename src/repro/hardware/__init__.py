@@ -17,6 +17,7 @@ from repro.hardware.specs import (
     GPU_V100_SXM2,
     GPU_V100S_PCIE,
     DDR4_DRAM,
+    NVME_SSD,
     PCIE_GEN3_X16,
     NVLINK_V100,
     NET_TCP_32G,
@@ -41,6 +42,7 @@ __all__ = [
     "GPU_V100_SXM2",
     "GPU_V100S_PCIE",
     "DDR4_DRAM",
+    "NVME_SSD",
     "PCIE_GEN3_X16",
     "NVLINK_V100",
     "NET_TCP_32G",

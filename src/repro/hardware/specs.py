@@ -129,6 +129,14 @@ DDR4_DRAM = MemorySpec(
     bandwidth=gbytes_per_s(85.0),
 )
 
+NVME_SSD = MemorySpec(
+    name="NVMe SSD (datacenter)",
+    capacity_bytes=gib(2048),
+    bandwidth=gbytes_per_s(2.0),
+    # Random-read latency dominates small embedding-row fetches.
+    access_latency=8.0e-5,
+)
+
 PCIE_GEN3_X16 = LinkSpec(
     name="PCIe Gen3 x16",
     bandwidth=gbytes_per_s(12.0),

@@ -1,0 +1,101 @@
+"""Dynamic micro-batching of in-flight requests.
+
+Online inference amortizes kernel-launch overhead the same way PICASSO
+training does: individual requests coalesce into a batch until either
+``max_batch_size`` requests are waiting or the oldest one has waited
+``max_wait_s`` — the classic size-or-deadline dynamic batcher.
+
+Closed batches are then sliced into micro-batches exactly in the spirit
+of D-Interleaving (Eq. 2, :mod:`repro.core.interleaving`): the slice
+count is the batch's activation footprint divided by the device budget,
+clamped to ``[1, MAX_MICRO_BATCHES]`` because past that point launch
+overhead outweighs the pipeline benefit (Fig. 14).  The model server
+pipelines the slices so embedding fetch overlaps dense compute.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+#: Same clamp as ``repro.core.interleaving.estimate_micro_batches``.
+MAX_MICRO_BATCHES = 8
+
+
+@dataclass(frozen=True)
+class ClosedBatch:
+    """A batch the batcher has sealed and handed to the server.
+
+    :param requests: the coalesced requests, in arrival order.
+    :param close_s: the time the batch sealed (either the arrival of
+        the request that filled it, or the deadline of its oldest one).
+    """
+
+    requests: tuple
+    close_s: float
+
+    @property
+    def size(self) -> int:
+        """Number of requests in the batch."""
+        return len(self.requests)
+
+
+class MicroBatcher:
+    """Size-or-deadline request coalescing.
+
+    :param max_batch_size: seal as soon as this many requests queue.
+    :param max_wait_s: seal at latest this long after the oldest
+        request in the forming batch arrived.
+    """
+
+    def __init__(self, max_batch_size: int, max_wait_s: float):
+        if max_batch_size < 1:
+            raise ValueError(
+                f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_wait_s < 0:
+            raise ValueError(f"max_wait_s must be >= 0, got {max_wait_s}")
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_s = float(max_wait_s)
+
+    def form_batches(self, requests: list) -> list:
+        """Coalesce an arrival-ordered request trace into batches.
+
+        Purely a function of arrival times, so traces replay
+        identically: a batch seals at ``min(arrival of its
+        max_batch_size-th request, first arrival + max_wait_s)``.
+        """
+        ordered = sorted(requests, key=lambda r: r.arrival_s)
+        batches = []
+        current: list = []
+        deadline = 0.0
+        for request in ordered:
+            if current and request.arrival_s > deadline:
+                batches.append(ClosedBatch(tuple(current), deadline))
+                current = []
+            if not current:
+                deadline = request.arrival_s + self.max_wait_s
+            current.append(request)
+            if len(current) == self.max_batch_size:
+                batches.append(
+                    ClosedBatch(tuple(current), request.arrival_s))
+                current = []
+        if current:
+            batches.append(ClosedBatch(tuple(current), deadline))
+        return batches
+
+
+def plan_micro_batches(batch_rows: int, row_budget: int) -> int:
+    """Eq. 2 for the serving path: slices to fit the activation budget.
+
+    ``row_budget`` plays the role of ``RBound / RInstance`` — how many
+    instances' activations fit on the device at once.  Mirrors the
+    training-side clamp: at most :data:`MAX_MICRO_BATCHES` slices.
+    """
+    if batch_rows < 0:
+        raise ValueError(f"batch_rows must be >= 0, got {batch_rows}")
+    if row_budget < 1:
+        raise ValueError(f"row_budget must be >= 1, got {row_budget}")
+    if batch_rows <= row_budget:
+        return 1
+    return max(1, min(MAX_MICRO_BATCHES,
+                      math.ceil(batch_rows / row_budget)))

@@ -1,0 +1,142 @@
+"""Serving-side metrics: latency percentiles, QPS, shed rate, cache.
+
+Mirrors :mod:`repro.sim.metrics`: raw events (per-request completions)
+are reduced onto fixed-width buckets for timelines, and headline
+numbers come out as plain dict rows ready for
+``repro.experiments.common.format_table``.  Everything is a pure
+function of the recorded events, so a deterministic simulation yields
+bit-identical reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Same default sampling grid as the training-side utilization plots.
+DEFAULT_BUCKET_SECONDS = 0.010
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Headline metrics of one serving run."""
+
+    served: int
+    shed: int
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    qps: float
+    shed_rate: float
+    cache_hit_ratio: float
+    makespan_s: float
+    stage_seconds: dict
+
+    def as_dict(self) -> dict:
+        """Plain-dict export (benchmarks, JSON)."""
+        return {
+            "served": self.served,
+            "shed": self.shed,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "qps": self.qps,
+            "shed_rate": self.shed_rate,
+            "cache_hit_ratio": self.cache_hit_ratio,
+            "makespan_s": self.makespan_s,
+            "stage_seconds": dict(self.stage_seconds),
+        }
+
+    def row(self) -> dict:
+        """One formatted table row (for ``format_table``)."""
+        return {
+            "served": self.served,
+            "shed": self.shed,
+            "p50_ms": f"{self.p50_ms:.3f}",
+            "p95_ms": f"{self.p95_ms:.3f}",
+            "p99_ms": f"{self.p99_ms:.3f}",
+            "qps": f"{self.qps:,.0f}",
+            "shed_rate": f"{self.shed_rate:.2%}",
+            "cache_hit": f"{self.cache_hit_ratio:.2%}",
+        }
+
+
+class ServingMetrics:
+    """Accumulates per-request outcomes during a serving run."""
+
+    def __init__(self):
+        self._latencies: list = []
+        self._completions: list = []
+        self._shed = 0
+        self._first_arrival = None
+        self._last_event = 0.0
+        self._stage_seconds: dict = {}
+
+    def observe_arrival(self, arrival_s: float) -> None:
+        """Track the trace's start for QPS accounting."""
+        if self._first_arrival is None or arrival_s < self._first_arrival:
+            self._first_arrival = arrival_s
+
+    def record_served(self, arrival_s: float, completion_s: float) -> None:
+        """One request finished; latency is completion - arrival."""
+        self.observe_arrival(arrival_s)
+        self._latencies.append(completion_s - arrival_s)
+        self._completions.append(completion_s)
+        self._last_event = max(self._last_event, completion_s)
+
+    def record_shed(self, arrival_s: float, shed_s: float) -> None:
+        """One request dropped by admission control."""
+        self.observe_arrival(arrival_s)
+        self._shed += 1
+        self._last_event = max(self._last_event, shed_s)
+
+    def record_stage(self, stage: str, seconds: float) -> None:
+        """Accumulate modeled time in a named pipeline stage."""
+        self._stage_seconds[stage] = \
+            self._stage_seconds.get(stage, 0.0) + seconds
+
+    def report(self, cache_hit_ratio: float = 0.0) -> ServingReport:
+        """Reduce the recorded events to a :class:`ServingReport`."""
+        latencies = np.asarray(self._latencies, dtype=np.float64)
+        served = int(latencies.size)
+        total = served + self._shed
+        start = self._first_arrival or 0.0
+        makespan = max(0.0, self._last_event - start)
+        if served:
+            p50, p95, p99 = np.percentile(latencies, [50.0, 95.0, 99.0])
+        else:
+            p50 = p95 = p99 = 0.0
+        return ServingReport(
+            served=served,
+            shed=self._shed,
+            p50_ms=float(p50) * 1e3,
+            p95_ms=float(p95) * 1e3,
+            p99_ms=float(p99) * 1e3,
+            qps=served / makespan if makespan > 0 else 0.0,
+            shed_rate=self._shed / total if total else 0.0,
+            cache_hit_ratio=cache_hit_ratio,
+            makespan_s=makespan,
+            stage_seconds=dict(self._stage_seconds),
+        )
+
+    def qps_timeline(self, bucket: float = DEFAULT_BUCKET_SECONDS):
+        """Completions per second on a fixed grid (``(times, qps)``).
+
+        The serving twin of ``repro.sim.metrics.bandwidth_timeline``:
+        bucketed completion counts over the run's makespan.
+        """
+        if bucket <= 0:
+            raise ValueError(f"bucket must be > 0, got {bucket}")
+        completions = np.asarray(self._completions, dtype=np.float64)
+        if completions.size == 0:
+            return np.zeros(0), np.zeros(0)
+        start = self._first_arrival or 0.0
+        offsets = completions - start
+        num_buckets = max(1, int(np.ceil(offsets.max() / bucket)) or 1)
+        counts = np.bincount(
+            np.minimum(num_buckets - 1,
+                       (offsets // bucket).astype(np.int64)),
+            minlength=num_buckets)
+        times = np.arange(num_buckets) * bucket
+        return times, counts / bucket

@@ -1,0 +1,65 @@
+"""SLO enforcement: admission control and load shedding.
+
+A latency SLO is only meaningful under overload if the server is
+allowed to *not* serve: queueing theory says an open-loop M/D/1 queue
+past saturation grows without bound, so every production recommender
+front-end sheds load once the deadline becomes unreachable.  The policy
+here is deadline-based admission control at batch start: a request
+whose projected completion (``batch start + estimated service``)
+already exceeds its arrival-relative budget is dropped before the model
+runs, spending capacity only on requests that can still make the SLO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SloConfig:
+    """Latency objective for the serving path.
+
+    :param latency_budget_s: end-to-end per-request deadline, measured
+        from arrival to completion.
+    :param max_queue_delay_s: optional guard on time spent between
+        batch seal and service start; a batch stuck longer than this is
+        shed wholesale (the queue is hopeless, draining it only makes
+        later requests miss too).
+    """
+
+    latency_budget_s: float
+    max_queue_delay_s: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.latency_budget_s <= 0:
+            raise ValueError("latency_budget_s must be > 0")
+        if self.max_queue_delay_s < 0:
+            raise ValueError("max_queue_delay_s must be >= 0")
+
+
+class SloPolicy:
+    """Deadline-based admission control over sealed batches."""
+
+    def __init__(self, config: SloConfig):
+        self.config = config
+
+    def admit(self, batch, start_s: float,
+              service_estimate_s: float) -> tuple:
+        """Split a batch into (admitted, shed) at service start.
+
+        :param batch: a :class:`~repro.serving.batcher.ClosedBatch`.
+        :param start_s: when the server would begin this batch.
+        :param service_estimate_s: the server's modeled service time
+            for the full batch.
+        :returns: ``(admitted, shed)`` request lists.
+        """
+        if start_s - batch.close_s > self.config.max_queue_delay_s:
+            return [], list(batch.requests)
+        completion = start_s + service_estimate_s
+        admitted, shed = [], []
+        for request in batch.requests:
+            if completion - request.arrival_s > self.config.latency_budget_s:
+                shed.append(request)
+            else:
+                admitted.append(request)
+        return admitted, shed

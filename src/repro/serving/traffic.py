@@ -1,0 +1,87 @@
+"""Online request streams: Poisson arrivals with Zipfian key skew.
+
+The serving path consumes the same :class:`~repro.data.spec.DatasetSpec`
+feature schemas as training, but instead of epoch-sized batches it sees
+individual inference requests arriving on a Poisson process (the
+standard open-loop model for user-facing traffic).  Each request draws
+its categorical IDs from the per-field bounded-Zipf samplers of
+:mod:`repro.data.synthetic`, so the embedding-access skew that drives
+Algorithm 1's cache (PAPER SS III-D, Fig. 3) is present at serve time
+exactly as it was at train time.
+
+All randomness flows from one explicit ``numpy`` generator seeded at
+construction: the same seed reproduces the same trace across processes
+(the field samplers use :func:`~repro.data.synthetic.stable_field_hash`
+rather than the process-randomized builtin ``hash``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.spec import DatasetSpec
+from repro.data.synthetic import FieldSampler, stable_field_hash
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request.
+
+    :param request_id: position in the trace (0-based).
+    :param arrival_s: absolute arrival time in seconds.
+    :param sparse: field name -> int64 ID array (``seq_length`` IDs).
+    :param numeric: fp32 dense features, shape ``(num_numeric,)``.
+    """
+
+    request_id: int
+    arrival_s: float
+    sparse: dict
+    numeric: np.ndarray
+
+
+class TrafficGenerator:
+    """Deterministic Poisson/Zipf request-stream generator.
+
+    :param dataset: feature schema; every request carries one instance.
+    :param rate_qps: mean arrival rate (requests per second).
+    :param seed: seeds both the arrival process and the ID samplers.
+    """
+
+    def __init__(self, dataset: DatasetSpec, rate_qps: float,
+                 seed: int = 0):
+        if rate_qps <= 0:
+            raise ValueError(f"rate_qps must be > 0, got {rate_qps}")
+        self.dataset = dataset
+        self.rate_qps = float(rate_qps)
+        self.seed = int(seed)
+        self._arrival_rng = np.random.default_rng(seed)
+        self._numeric_rng = np.random.default_rng(seed ^ 0x5EED)
+        # Each field keeps its own sampler (distinct hot sets) but all
+        # are derived from the one explicit seed.
+        self._samplers = {
+            spec.name: FieldSampler(
+                spec, seed=seed ^ stable_field_hash(spec.name))
+            for spec in dataset.fields
+        }
+
+    def generate(self, count: int) -> list:
+        """Produce ``count`` requests in arrival order."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        gaps = self._arrival_rng.exponential(
+            1.0 / self.rate_qps, size=count)
+        arrivals = np.cumsum(gaps)
+        requests = []
+        for index in range(count):
+            sparse = {
+                name: sampler.sample_batch(1)
+                for name, sampler in self._samplers.items()
+            }
+            numeric = self._numeric_rng.standard_normal(
+                self.dataset.num_numeric).astype(np.float32)
+            requests.append(Request(request_id=index,
+                                    arrival_s=float(arrivals[index]),
+                                    sparse=sparse, numeric=numeric))
+        return requests

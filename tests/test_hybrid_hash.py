@@ -131,3 +131,20 @@ class TestValidation:
         table = EmbeddingTable(dim=4)
         with pytest.raises(ValueError):
             HybridHash(table, hot_bytes=100, flush_iters=0)
+
+
+class TestStatsExport:
+    def test_as_dict_mirrors_attributes(self):
+        cache = _cache(warmup=0, flush=1)
+        cache.lookup(np.array([1, 1, 2]))
+        snapshot = cache.stats.as_dict()
+        assert snapshot["queries"] == cache.stats.queries
+        assert snapshot["hit_ratio"] == cache.stats.hit_ratio
+        assert snapshot["hot_hits"] == cache.stats.hot_hits
+        assert snapshot["cold_misses"] == cache.stats.cold_misses
+        assert snapshot["flushes"] == cache.stats.flushes
+
+    def test_as_dict_fresh_cache(self):
+        snapshot = _cache().stats.as_dict()
+        assert snapshot["queries"] == 0
+        assert snapshot["hit_ratio"] == 0.0

@@ -128,3 +128,93 @@ class TestHitAccounting:
     def test_empty_hit_fractions(self):
         cache = _cache(warmup=10)
         assert sum(cache.hit_fractions().values()) == 0.0
+
+
+class TestServingEdgeCases:
+    """Edge cases the online serving path exercises."""
+
+    def test_zero_capacity_top_tier(self):
+        tiers = (
+            CacheTier("hbm", capacity_bytes=0.0,
+                      access_seconds_per_byte=1e-12),
+            CacheTier("dram", capacity_bytes=float("inf"),
+                      access_seconds_per_byte=1e-11),
+        )
+        cache = MultiLevelCache(EmbeddingTable(dim=4, seed=0),
+                                tiers=tiers, warmup_iters=1,
+                                flush_iters=1)
+        for _step in range(5):
+            cache.lookup(np.array([1, 1, 2, 3]))
+        assert cache.rows_per_tier()["hbm"] == 0
+        assert cache.tier_of(1) == "dram"
+        assert cache.stats["hbm"].hits == 0
+
+    def test_all_rows_fit_in_top_tier(self):
+        tiers = (
+            CacheTier("hbm", capacity_bytes=float("inf"),
+                      access_seconds_per_byte=1e-12),
+            CacheTier("dram", capacity_bytes=float("inf"),
+                      access_seconds_per_byte=1e-11),
+        )
+        cache = MultiLevelCache(EmbeddingTable(dim=4, seed=0),
+                                tiers=tiers, warmup_iters=1,
+                                flush_iters=1)
+        for _step in range(4):
+            cache.lookup(np.arange(20))
+        assert all(cache.tier_of(key) == "hbm" for key in range(20))
+        # Post-flush lookups all hit the pinned top tier.
+        cache.lookup(np.arange(20))
+        assert cache.stats["hbm"].hits > 0
+        assert cache.stats["dram"].hits == 0
+
+    def test_flush_deterministic_when_frequencies_tie(self):
+        def build():
+            cache = _cache(warmup=1, flush=1, hot_rows=2, warm_rows=4)
+            # Every ID appears exactly once per batch: all counts tie.
+            for _step in range(3):
+                cache.lookup(np.array([7, 3, 9, 1, 5]))
+            return cache
+
+        first, second = build(), build()
+        placements = [
+            {key: cache.tier_of(key) for key in (7, 3, 9, 1, 5)}
+            for cache in (first, second)
+        ]
+        assert placements[0] == placements[1]
+        # Capacity still binds under ties: exactly hot_rows in hbm.
+        counts = first.rows_per_tier()
+        assert counts["hbm"] == 2
+
+    def test_access_latency_validated(self):
+        with pytest.raises(ValueError):
+            CacheTier("x", capacity_bytes=1.0,
+                      access_seconds_per_byte=1.0, access_latency=-1.0)
+
+    def test_access_latency_in_expected_cost(self):
+        tiers = (CacheTier("dram", float("inf"), 0.0,
+                           access_latency=1e-6),)
+        cache = MultiLevelCache(EmbeddingTable(dim=4, seed=0),
+                                tiers=tiers, warmup_iters=1,
+                                flush_iters=1)
+        cost = cache.expected_access_cost(np.array([1, 2, 3]))
+        assert cost == pytest.approx(3e-6)
+
+
+class TestStatsExport:
+    def test_stats_as_dict_structure(self):
+        cache = _cache(warmup=1, flush=1)
+        for _step in range(4):
+            cache.lookup(np.array([1, 1, 2]))
+        snapshot = cache.stats_as_dict()
+        assert set(snapshot["tiers"]) == {"hbm", "dram", "ssd"}
+        assert snapshot["queries"] == sum(
+            stats["hits"] for stats in snapshot["tiers"].values())
+        fractions = snapshot["hit_fractions"]
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert snapshot["hit_ratio"] == fractions["hbm"]
+
+    def test_tier_stats_as_dict(self):
+        cache = _cache(warmup=0, flush=1)
+        cache.lookup(np.array([4]))
+        assert cache.stats["ssd"].as_dict() == {
+            "hits": cache.stats["ssd"].hits}
