@@ -1,0 +1,35 @@
+"""Critical-path profiling via the run facade (`repro.api.profile`).
+
+Profiles the paper's headline workload (W&D on Product-1, EFLOPS-16)
+and checks that the top-10 critical-path entries explain >= 90% of the
+makespan — the attribution quality the `repro profile` command reports.
+"""
+
+from conftest import run_once, show
+
+from repro.api import RunConfig, profile
+
+
+def test_critical_path_attribution(benchmark):
+    config = RunConfig()  # W&D / Product-1 / eflops:16 / PICASSO
+    result = run_once(benchmark, lambda: profile(config))
+    report = result.critical_path
+
+    rows = [{
+        "rank": rank,
+        "op": entry.label,
+        "ms": f"{entry.seconds * 1e3:.3f}",
+        "share": f"{entry.share:.1%}",
+        "class": entry.dominant_class,
+    } for rank, entry in enumerate(report.top(), start=1)]
+    show("Critical path (W&D, EFLOPS-16)", rows)
+
+    benchmark.extra_info["makespan_s"] = report.makespan
+    benchmark.extra_info["coverage_top10"] = report.coverage(10)
+    benchmark.extra_info["class_seconds"] = dict(report.class_seconds)
+
+    assert report.makespan > 0
+    assert report.coverage(10) >= 0.90
+    # The ranking and the class attribution both partition path time.
+    total = sum(report.class_seconds.values())
+    assert abs(total - report.makespan) < 1e-6 * max(1.0, report.makespan)

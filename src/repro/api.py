@@ -1,0 +1,179 @@
+"""The public run facade: one config in, one report out.
+
+Every entry point that simulates a training workload — the CLI, the
+experiment harnesses, the benchmark suite — used to carry its own
+model-building / cluster-parsing / framework-dispatch helpers.  This
+module is the single replacement:
+
+* :class:`RunConfig` names a workload declaratively (model, dataset,
+  cluster spec, framework, batch geometry);
+* :func:`run` resolves it and returns the usual
+  :class:`~repro.core.executor.RunReport`;
+* :func:`profile` does the same with telemetry on, returning the
+  report plus a ready :class:`~repro.telemetry.CriticalPathReport`
+  and Chrome-trace payload.
+
+Cluster specs are strings like ``eflops:16`` / ``gn6e:1`` (or an
+already-built :class:`~repro.hardware.topology.ClusterSpec`), matching
+the paper's two testbeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.baselines import framework_by_name
+from repro.core import PicassoConfig, PicassoExecutor
+from repro.core.executor import RunReport
+from repro.data import ALL_DATASETS
+from repro.hardware import eflops_cluster, gn6e_cluster
+from repro.hardware.topology import ClusterSpec
+from repro.models import MODEL_BUILDERS
+from repro.models.base import ModelSpec
+from repro.telemetry import (
+    CriticalPathReport,
+    analyze_critical_path,
+    chrome_trace,
+)
+
+#: Framework names :func:`run` dispatches on.
+FRAMEWORKS = ("PICASSO", "PICASSO(Base)", "TF-PS", "PyTorch", "Horovod",
+              "XDL")
+
+
+def parse_cluster(spec) -> ClusterSpec:
+    """Resolve ``eflops:N`` / ``gn6e:N`` specs (pass-through for built).
+
+    Raises :class:`ValueError` for unknown testbed names.
+    """
+    if isinstance(spec, ClusterSpec):
+        return spec
+    name, _, count = str(spec).partition(":")
+    nodes = int(count) if count else 1
+    if name == "eflops":
+        return eflops_cluster(nodes)
+    if name == "gn6e":
+        return gn6e_cluster(nodes)
+    raise ValueError(f"unknown cluster {name!r}; expected eflops|gn6e")
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """A declarative simulation request (the CLI's flags, as data).
+
+    :param cluster: ``eflops:N`` / ``gn6e:N`` string or a built
+        :class:`ClusterSpec`.
+    :param picasso: optimization toggles for the ``PICASSO`` framework;
+        ignored by the baselines (``PICASSO(Base)`` always runs with
+        everything off).
+    :param record_tasks: collect per-task telemetry
+        (:class:`~repro.sim.trace.TaskRecord`) during the run.
+    """
+
+    model: str = "W&D"
+    dataset: str = "Product-1"
+    scale: float = 1.0
+    cluster: object = "eflops:16"
+    framework: str = "PICASSO"
+    batch_size: int = 20_000
+    iterations: int = 3
+    picasso: PicassoConfig | None = None
+    record_tasks: bool = False
+
+    def resolved_cluster(self) -> ClusterSpec:
+        """The cluster this config runs on."""
+        return parse_cluster(self.cluster)
+
+    def build_model(self) -> ModelSpec:
+        """Instantiate the model over the (scaled) dataset.
+
+        Raises :class:`KeyError`-flavoured :class:`ValueError` for
+        unknown model or dataset names, listing the valid choices.
+        """
+        if self.model not in MODEL_BUILDERS:
+            raise ValueError(
+                f"unknown model {self.model!r}; "
+                f"expected one of {sorted(MODEL_BUILDERS)}")
+        if self.dataset not in ALL_DATASETS:
+            raise ValueError(
+                f"unknown dataset {self.dataset!r}; "
+                f"expected one of {list(ALL_DATASETS)}")
+        dataset = ALL_DATASETS[self.dataset](self.scale)
+        return MODEL_BUILDERS[self.model](dataset)
+
+    def with_overrides(self, **changes) -> "RunConfig":
+        """A copy with some fields replaced (sweeps, ablations)."""
+        return replace(self, **changes)
+
+    def as_dict(self) -> dict:
+        """Plain-dict snapshot (trace metadata, logs)."""
+        cluster = self.resolved_cluster()
+        return {
+            "model": self.model,
+            "dataset": self.dataset,
+            "scale": self.scale,
+            "cluster": f"{cluster.name}:{cluster.num_nodes}",
+            "framework": self.framework,
+            "batch_size": self.batch_size,
+            "iterations": self.iterations,
+            "record_tasks": self.record_tasks,
+        }
+
+
+def run(config: RunConfig, model: ModelSpec | None = None) -> RunReport:
+    """Execute one :class:`RunConfig`; the repo-wide simulation facade.
+
+    :param model: an already-built model to reuse (sweeps that vary
+        only the framework or batch size skip dataset rebuilding);
+        defaults to ``config.build_model()``.
+    """
+    if config.framework not in FRAMEWORKS:
+        raise ValueError(f"unknown framework {config.framework!r}; "
+                         f"expected one of {FRAMEWORKS}")
+    model = model if model is not None else config.build_model()
+    cluster = config.resolved_cluster()
+    if config.framework == "PICASSO":
+        executor = PicassoExecutor(model, cluster, config.picasso)
+        return executor.run(config.batch_size,
+                            iterations=config.iterations,
+                            record_tasks=config.record_tasks)
+    if config.framework == "PICASSO(Base)":
+        executor = PicassoExecutor(model, cluster, PicassoConfig.base())
+        return executor.run(config.batch_size,
+                            iterations=config.iterations,
+                            record_tasks=config.record_tasks)
+    return framework_by_name(config.framework).run(
+        model, cluster, config.batch_size,
+        iterations=config.iterations,
+        record_tasks=config.record_tasks)
+
+
+@dataclass(frozen=True)
+class ProfileResult:
+    """A profiled run: the report plus its telemetry products."""
+
+    report: RunReport
+    critical_path: CriticalPathReport
+    trace: dict  # Chrome-trace payload (chrome://tracing / Perfetto)
+
+
+def profile(config: RunConfig, model: ModelSpec | None = None,
+            top_k: int = 10) -> ProfileResult:
+    """Run with telemetry on and analyze the result in one call.
+
+    The returned trace payload and critical-path report are pure
+    functions of the modeled run, so two profiles of the same config
+    serialize byte-identically.
+    """
+    config = replace(config, record_tasks=True)
+    report = run(config, model=model)
+    result = report.result
+    critical = analyze_critical_path(result.task_records,
+                                     result.makespan, top_k=top_k)
+    trace = chrome_trace(records=result.task_records,
+                         recorder=result.recorder,
+                         makespan=result.makespan,
+                         metadata={"workload": config.as_dict(),
+                                   "report_name": report.name})
+    return ProfileResult(report=report, critical_path=critical,
+                         trace=trace)

@@ -121,8 +121,9 @@ class Framework:
         )
 
     def run(self, model: ModelSpec, cluster: ClusterSpec, batch_size: int,
-            iterations: int = 3) -> RunReport:
+            iterations: int = 3, record_tasks: bool = False) -> RunReport:
         """Simulate a training run under this framework."""
         plan = self.plan(model, cluster, batch_size)
         return simulate_plan(plan, iterations=iterations,
-                             name=f"{self.name}/{model.name}")
+                             name=f"{self.name}/{model.name}",
+                             record_tasks=record_tasks)

@@ -9,6 +9,12 @@ Commands:
 * ``experiment`` — run one table/figure harness by id.
 * ``gantt`` — ASCII utilization timeline of a simulated run.
 * ``serve`` — online inference serving simulation with SLO metrics.
+* ``profile`` — run one workload with telemetry on, write a
+  Chrome-trace JSON (loads in Perfetto) and print the critical path.
+
+Workload commands are thin wrappers over the :mod:`repro.api` facade:
+flags build a :class:`~repro.api.RunConfig`, :func:`repro.api.run`
+executes it.
 """
 
 from __future__ import annotations
@@ -16,52 +22,52 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.baselines import framework_by_name
-from repro.core import PicassoConfig, PicassoExecutor
+from repro import api
+from repro.api import RunConfig
+from repro.core import PicassoConfig
 from repro.data import ALL_DATASETS
 from repro.experiments import runner as experiment_runner
 from repro.experiments.common import format_table, mini_criteo
-from repro.hardware import eflops_cluster, gn6e_cluster
 from repro.models import MODEL_BUILDERS
 from repro.serving import CACHE_KINDS, simulate_serving
 from repro.sim.export import ascii_gantt
+from repro.telemetry import (
+    format_critical_path,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 from repro.training import train_and_evaluate
-
-_FRAMEWORKS = ("PICASSO", "PICASSO(Base)", "TF-PS", "PyTorch", "Horovod",
-               "XDL")
 
 
 def _cluster(spec: str):
-    """Parse ``eflops:16`` / ``gn6e:1`` cluster specs."""
-    name, _, count = spec.partition(":")
-    nodes = int(count) if count else 1
-    if name == "eflops":
-        return eflops_cluster(nodes)
-    if name == "gn6e":
-        return gn6e_cluster(nodes)
-    raise argparse.ArgumentTypeError(
-        f"unknown cluster {name!r}; expected eflops|gn6e")
+    """argparse type adapter for ``eflops:16`` / ``gn6e:1`` specs."""
+    try:
+        return api.parse_cluster(spec)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error))
 
 
-def _build_model(model_name: str, dataset_name: str, scale: float):
-    if model_name not in MODEL_BUILDERS:
-        raise SystemExit(f"unknown model {model_name!r}; see `list`")
-    if dataset_name not in ALL_DATASETS:
-        raise SystemExit(f"unknown dataset {dataset_name!r}; see `list`")
-    dataset = ALL_DATASETS[dataset_name](scale)
-    return MODEL_BUILDERS[model_name](dataset)
+def _run_config(args, **overrides) -> RunConfig:
+    """A :class:`RunConfig` from the shared simulation flags."""
+    settings = {
+        "model": args.model,
+        "dataset": args.dataset,
+        "scale": args.scale,
+        "cluster": args.cluster,
+        "batch_size": args.batch,
+        "iterations": args.iterations,
+        "framework": getattr(args, "framework", "PICASSO"),
+    }
+    settings.update(overrides)
+    return RunConfig(**settings)
 
 
-def _run(framework: str, model, cluster, batch: int, iterations: int,
-         config: PicassoConfig | None = None):
-    if framework == "PICASSO":
-        return PicassoExecutor(model, cluster, config).run(
-            batch, iterations=iterations)
-    if framework == "PICASSO(Base)":
-        return PicassoExecutor(model, cluster, PicassoConfig.base()).run(
-            batch, iterations=iterations)
-    return framework_by_name(framework).run(model, cluster, batch,
-                                            iterations=iterations)
+def _facade_run(config: RunConfig):
+    """Run via the facade, converting config errors to CLI exits."""
+    try:
+        return api.run(config)
+    except ValueError as error:
+        raise SystemExit(f"{error}; see `list`")
 
 
 def _report_rows(report) -> list:
@@ -79,7 +85,7 @@ def _report_rows(report) -> list:
 def cmd_list(_args) -> int:
     print("models:     " + ", ".join(sorted(MODEL_BUILDERS)))
     print("datasets:   " + ", ".join(ALL_DATASETS))
-    print("frameworks: " + ", ".join(_FRAMEWORKS))
+    print("frameworks: " + ", ".join(api.FRAMEWORKS))
     print("experiments:")
     for title, _fn in experiment_runner.EXPERIMENTS:
         print(f"  - {title}")
@@ -87,17 +93,16 @@ def cmd_list(_args) -> int:
 
 
 def cmd_simulate(args) -> int:
-    model = _build_model(args.model, args.dataset, args.scale)
-    report = _run(args.framework, model, args.cluster, args.batch,
-                  args.iterations)
-    print(f"{args.framework} / {model.name} on {args.dataset} "
-          f"({args.cluster.name} x{args.cluster.num_nodes})")
+    config = _run_config(args)
+    report = _facade_run(config)
+    cluster = config.resolved_cluster()
+    print(f"{args.framework} / {report.name.split('/', 1)[-1]} "
+          f"on {args.dataset} ({cluster.name} x{cluster.num_nodes})")
     print(format_table(_report_rows(report), list(_report_rows(report)[0])))
     return 0
 
 
 def cmd_ablation(args) -> int:
-    model = _build_model(args.model, args.dataset, args.scale)
     rows = []
     variants = {
         "PICASSO": PicassoConfig(),
@@ -105,9 +110,12 @@ def cmd_ablation(args) -> int:
         "w/o interleaving": PicassoConfig().without("interleaving"),
         "w/o caching": PicassoConfig().without("caching"),
     }
-    for name, config in variants.items():
-        report = _run("PICASSO", model, args.cluster, args.batch,
-                      args.iterations, config)
+    model = None
+    for name, picasso in variants.items():
+        config = _run_config(args, framework="PICASSO", picasso=picasso)
+        if model is None:
+            model = config.build_model()
+        report = api.run(config, model=model)
         rows.append({"variant": name, "ips": f"{report.ips:,.0f}",
                      "sm_util": f"{report.sm_utilization:.0%}"})
     print(format_table(rows, ["variant", "ips", "sm_util"]))
@@ -157,10 +165,27 @@ def cmd_serve(args) -> int:
 
 
 def cmd_gantt(args) -> int:
-    model = _build_model(args.model, args.dataset, args.scale)
-    report = _run(args.framework, model, args.cluster, args.batch,
-                  args.iterations)
+    report = _facade_run(_run_config(args))
     print(ascii_gantt(report.result, width=args.width))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    config = _run_config(args, record_tasks=True)
+    try:
+        profiled = api.profile(config, top_k=args.top)
+    except ValueError as error:
+        raise SystemExit(f"{error}; see `list`")
+    validate_chrome_trace(profiled.trace)
+    path = write_chrome_trace(args.output, profiled.trace)
+    report = profiled.report
+    print(f"{args.framework} / {report.name.split('/', 1)[-1]}: "
+          f"{report.ips:,.0f} ips, "
+          f"{report.seconds_per_iteration * 1e3:.1f} ms/iter, "
+          f"{len(report.result.task_records)} tasks")
+    print(format_critical_path(profiled.critical_path))
+    print(f"chrome trace: {path} "
+          f"(open in chrome://tracing or https://ui.perfetto.dev)")
     return 0
 
 
@@ -178,7 +203,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--dataset", default="Product-1")
         p.add_argument("--scale", type=float, default=1.0)
         p.add_argument("--cluster", type=_cluster,
-                       default=eflops_cluster(16),
+                       default=api.parse_cluster("eflops:16"),
                        help="eflops:N or gn6e:N")
         p.add_argument("--batch", type=int, default=20_000)
         p.add_argument("--iterations", type=int, default=3)
@@ -186,7 +211,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim = sub.add_parser("simulate", help="simulate one workload")
     add_sim_args(sim)
     sim.add_argument("--framework", default="PICASSO",
-                     choices=_FRAMEWORKS)
+                     choices=api.FRAMEWORKS)
     sim.set_defaults(func=cmd_simulate)
 
     ablation = sub.add_parser("ablation", help="Tab. IV toggles")
@@ -227,9 +252,21 @@ def build_parser() -> argparse.ArgumentParser:
     gantt = sub.add_parser("gantt", help="ASCII utilization timeline")
     add_sim_args(gantt)
     gantt.add_argument("--framework", default="PICASSO",
-                       choices=_FRAMEWORKS)
+                       choices=api.FRAMEWORKS)
     gantt.add_argument("--width", type=int, default=72)
     gantt.set_defaults(func=cmd_gantt)
+
+    prof = sub.add_parser(
+        "profile",
+        help="trace one workload: Chrome-trace JSON + critical path")
+    add_sim_args(prof)
+    prof.add_argument("--framework", default="PICASSO",
+                      choices=api.FRAMEWORKS)
+    prof.add_argument("--output", default="repro_trace.json",
+                      help="Chrome-trace JSON destination")
+    prof.add_argument("--top", type=int, default=10,
+                      help="entries in the critical-path ranking")
+    prof.set_defaults(func=cmd_profile)
     return parser
 
 

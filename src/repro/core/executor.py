@@ -67,12 +67,17 @@ class RunReport:
 
 
 def simulate_plan(plan: ExecutionPlan, iterations: int = 3,
-                  name: str | None = None) -> RunReport:
+                  name: str | None = None,
+                  record_tasks: bool = False) -> RunReport:
     """Build, execute and measure a plan over ``iterations`` steps.
 
     The first iteration is treated as pipeline warm-up: per-iteration
     time is measured from the end of step 0 when more than one step is
     simulated.
+
+    ``record_tasks=True`` makes the returned report's ``result`` carry
+    per-task :class:`~repro.sim.trace.TaskRecord` telemetry (for
+    Chrome-trace export and critical-path analysis).
     """
     if iterations < 1:
         raise ValueError("iterations must be >= 1")
@@ -89,7 +94,8 @@ def simulate_plan(plan: ExecutionPlan, iterations: int = 3,
     tasks = graph.to_sim_tasks(launch, floor)
     resources = build_node_resources(plan.cluster.node)
     engine = Engine(resources)
-    result = engine.run(tasks, keep_finish_times=True)
+    result = engine.run(tasks, keep_finish_times=True,
+                        record_tasks=record_tasks)
 
     if iterations > 1:
         first_end = result.finish_times.get("it0/step_end", 0.0) or 0.0
@@ -155,8 +161,10 @@ class PicassoExecutor:
         """The optimized execution plan for one batch size."""
         return self._planner.plan(self.model, self.cluster, batch_size)
 
-    def run(self, batch_size: int, iterations: int = 3) -> RunReport:
+    def run(self, batch_size: int, iterations: int = 3,
+            record_tasks: bool = False) -> RunReport:
         """Plan and simulate a training run; returns the full report."""
         plan = self.plan(batch_size)
         return simulate_plan(plan, iterations=iterations,
-                             name=f"PICASSO/{self.model.name}")
+                             name=f"PICASSO/{self.model.name}",
+                             record_tasks=record_tasks)

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.baselines import framework_by_name
-from repro.core import PicassoConfig, PicassoExecutor
+from repro.api import RunConfig
+from repro.api import run as run_config
+from repro.core import PicassoConfig
 from repro.core.executor import RunReport, simulate_plan
 from repro.data import alibaba, criteo, product1, product2, product3
 from repro.data.spec import DatasetSpec, FieldSpec
@@ -73,23 +74,24 @@ def production_model(name: str):
 
 def run_framework(framework: str, model, cluster, batch_size: int,
                   iterations: int = 3) -> RunReport:
-    """Simulate one framework (baseline name or ``"PICASSO"``)."""
-    if framework == "PICASSO":
-        executor = PicassoExecutor(model, cluster)
-        return executor.run(batch_size, iterations=iterations)
-    if framework == "PICASSO(Base)":
-        executor = PicassoExecutor(model, cluster, PicassoConfig.base())
-        return executor.run(batch_size, iterations=iterations)
-    return framework_by_name(framework).run(model, cluster, batch_size,
-                                            iterations=iterations)
+    """Simulate one framework (baseline name or ``"PICASSO"``).
+
+    Thin wrapper over :func:`repro.api.run`, reusing an already-built
+    model (the experiment harnesses sweep frameworks over one model).
+    """
+    config = RunConfig(framework=framework, cluster=cluster,
+                       batch_size=batch_size, iterations=iterations)
+    return run_config(config, model=model)
 
 
 def run_picasso(model, cluster, batch_size: int,
                 config: PicassoConfig | None = None,
                 iterations: int = 3) -> RunReport:
     """Simulate PICASSO with an explicit config (ablations, sweeps)."""
-    executor = PicassoExecutor(model, cluster, config)
-    return executor.run(batch_size, iterations=iterations)
+    request = RunConfig(framework="PICASSO", cluster=cluster,
+                        batch_size=batch_size, iterations=iterations,
+                        picasso=config)
+    return run_config(request, model=model)
 
 
 def mini_criteo(fields: int = 8, vocab: int = 30_000) -> DatasetSpec:

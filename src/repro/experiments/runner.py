@@ -31,6 +31,7 @@ from repro.experiments import (
     tab10_model_scale,
 )
 from repro.experiments.common import format_table
+from repro.telemetry.span import maybe_span
 
 
 def _render(title: str, rows: list) -> str:
@@ -76,13 +77,20 @@ EXPERIMENTS = [
 ]
 
 
-def run_all(stream=None) -> dict:
-    """Execute every experiment; returns {title: rows}."""
+def run_all(stream=None, tracer=None) -> dict:
+    """Execute every experiment; returns {title: rows}.
+
+    :param tracer: optional :class:`repro.telemetry.Tracer`; each
+        experiment becomes a wall-clock span on the ``experiments``
+        track, so a full evaluation run exports as one timeline.
+    """
     stream = stream or sys.stdout
     results = {}
     for title, runner in EXPERIMENTS:
         start = time.time()
-        rows = runner()
+        with maybe_span(tracer, title, category="experiment",
+                        track="experiments"):
+            rows = runner()
         results[title] = rows
         print(_render(title, rows), file=stream)
         print(f"  [{time.time() - start:.1f}s]\n", file=stream)

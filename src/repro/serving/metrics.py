@@ -48,6 +48,37 @@ class ServingReport:
             "stage_seconds": dict(self.stage_seconds),
         }
 
+    def merge(self, other: "ServingReport") -> "ServingReport":
+        """Combine two runs/shards (``Stats`` protocol).
+
+        Counts, makespans and stage times add; latency percentiles
+        take the pairwise max (a conservative tail estimate — exact
+        percentiles would need the raw latencies); QPS, shed rate and
+        the hit ratio are recomputed from the combined counts.
+        """
+        served = self.served + other.served
+        shed = self.shed + other.shed
+        makespan = self.makespan_s + other.makespan_s
+        stages = dict(self.stage_seconds)
+        for stage, seconds in other.stage_seconds.items():
+            stages[stage] = stages.get(stage, 0.0) + seconds
+        if served > 0:
+            hit_ratio = (self.cache_hit_ratio * self.served
+                         + other.cache_hit_ratio * other.served) / served
+        else:
+            hit_ratio = 0.0
+        return ServingReport(
+            served=served,
+            shed=shed,
+            p50_ms=max(self.p50_ms, other.p50_ms),
+            p95_ms=max(self.p95_ms, other.p95_ms),
+            p99_ms=max(self.p99_ms, other.p99_ms),
+            qps=served / makespan if makespan > 0 else 0.0,
+            shed_rate=shed / (served + shed) if served + shed else 0.0,
+            cache_hit_ratio=hit_ratio,
+            makespan_s=makespan,
+            stage_seconds=stages)
+
     def row(self) -> dict:
         """One formatted table row (for ``format_table``)."""
         return {

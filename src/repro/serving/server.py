@@ -248,22 +248,32 @@ class ModelServer:
 
 
 def serve_trace(requests: list, server: ModelServer,
-                batcher: MicroBatcher, policy: SloPolicy) -> ServingReport:
+                batcher: MicroBatcher, policy: SloPolicy,
+                tracer=None) -> ServingReport:
     """Run a request trace through batcher -> SLO gate -> server.
 
     A single-server queue in modeled time: batch ``i`` starts at
     ``max(seal time, previous completion)``; admission control sheds
     requests that can no longer meet the SLO before capacity is spent
     on them.  Deterministic for a fixed trace and server state.
+
+    :param tracer: optional :class:`repro.telemetry.Tracer`; every
+        admitted batch becomes a modeled-time span on the ``server``
+        track (batching wait on ``batcher``), every shed request an
+        instant event — so serving runs export to the same
+        Chrome-trace timeline as training runs.
     """
     metrics = ServingMetrics()
     server_free = 0.0
-    for batch in batcher.form_batches(requests):
+    for index, batch in enumerate(batcher.form_batches(requests)):
         start = max(batch.close_s, server_free)
         estimate = server.estimate_service_s(list(batch.requests))
         admitted, shed = policy.admit(batch, start, estimate)
         for request in shed:
             metrics.record_shed(request.arrival_s, start)
+            if tracer is not None:
+                tracer.instant("shed", timestamp=start, track="slo",
+                               arrival_s=request.arrival_s)
         if not admitted:
             continue
         outcome = server.process(admitted)
@@ -275,6 +285,19 @@ def serve_trace(requests: list, server: ModelServer,
         metrics.record_stage("dense", outcome.compute_s)
         for request in admitted:
             metrics.record_served(request.arrival_s, completion)
+        if tracer is not None:
+            first_arrival = min(request.arrival_s
+                                for request in admitted)
+            tracer.add_span(f"batch{index}/wait", first_arrival,
+                            batch.close_s, category="serving",
+                            track="batcher",
+                            attrs={"size": len(admitted)})
+            tracer.add_span(f"batch{index}", start, completion,
+                            category="serving", track="server",
+                            attrs={"size": len(admitted),
+                                   "micro_batches": outcome.micro_batches,
+                                   "fetch_s": outcome.fetch_s,
+                                   "compute_s": outcome.compute_s})
         server_free = completion
     return metrics.report(cache_hit_ratio=server.cache_hit_ratio())
 
@@ -289,11 +312,14 @@ def simulate_serving(num_requests: int = 10_000, seed: int = 0,
                      warmup_iters: int = 10, flush_iters: int = 20,
                      node: NodeSpec = GN6E_NODE,
                      dataset: DatasetSpec | None = None,
-                     variant: str = "wdl") -> ServingReport:
+                     variant: str = "wdl",
+                     tracer=None) -> ServingReport:
     """End-to-end serving simulation; the CLI/benchmark entry point.
 
     Builds traffic, cache hierarchy (``cache`` in :data:`CACHE_KINDS`),
     network and SLO policy from one seed and returns the final report.
+    ``tracer`` (a :class:`repro.telemetry.Tracer`) captures the run as
+    modeled-time spans; see :func:`serve_trace`.
     """
     dataset = dataset or default_serving_dataset()
     network = WdlNetwork(dataset, variant=variant, seed=seed)
@@ -315,4 +341,4 @@ def simulate_serving(num_requests: int = 10_000, seed: int = 0,
     batcher = MicroBatcher(max_batch_size=max_batch_size,
                            max_wait_s=max_wait_s)
     policy = SloPolicy(SloConfig(latency_budget_s=slo_s))
-    return serve_trace(requests, server, batcher, policy)
+    return serve_trace(requests, server, batcher, policy, tracer=tracer)

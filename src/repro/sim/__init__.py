@@ -8,8 +8,14 @@ issues, which is what makes fragmentary WDL graphs launch-bound.
 """
 
 from repro.sim.resource import Phase, Resource, ResourceKind
-from repro.sim.engine import Engine, SimResult, SimTask, build_node_resources
-from repro.sim.trace import ResourceTrace, TraceRecorder
+from repro.sim.engine import (
+    Engine,
+    SimResult,
+    SimSummary,
+    SimTask,
+    build_node_resources,
+)
+from repro.sim.trace import ResourceTrace, TaskRecord, TraceRecorder
 from repro.sim.export import ascii_gantt, busy_summary, timeline_json
 from repro.sim.metrics import (
     bandwidth_timeline,
@@ -24,9 +30,11 @@ __all__ = [
     "ResourceKind",
     "Engine",
     "SimResult",
+    "SimSummary",
     "SimTask",
     "build_node_resources",
     "ResourceTrace",
+    "TaskRecord",
     "TraceRecorder",
     "bandwidth_timeline",
     "busy_fraction",

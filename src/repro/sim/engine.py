@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.hardware.topology import NodeSpec
 from repro.sim.resource import Phase, Resource, ResourceKind
-from repro.sim.trace import TraceRecorder
+from repro.sim.trace import TaskRecord, TraceRecorder
 
 _EPS = 1e-12
 
@@ -81,6 +81,46 @@ class SimTask:
 
 
 @dataclass
+class SimSummary:
+    """Headline numbers of one engine run (a ``Stats`` object).
+
+    The mergeable summary telemetry exports; ``merge`` composes two
+    runs sequentially (makespans and counts add, per-resource busy
+    time and work add).
+    """
+
+    makespan: float
+    task_count: int
+    event_count: int
+    busy_seconds: dict = field(default_factory=dict)
+    work_done: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """Plain-dict snapshot for telemetry export and benchmarks."""
+        return {
+            "makespan": self.makespan,
+            "task_count": self.task_count,
+            "event_count": self.event_count,
+            "busy_seconds": dict(self.busy_seconds),
+            "work_done": dict(self.work_done),
+        }
+
+    def merge(self, other: "SimSummary") -> "SimSummary":
+        """Sequential composition of two runs into one summary."""
+        busy = dict(self.busy_seconds)
+        for kind, seconds in other.busy_seconds.items():
+            busy[kind] = busy.get(kind, 0.0) + seconds
+        work = dict(self.work_done)
+        for kind, units in other.work_done.items():
+            work[kind] = work.get(kind, 0.0) + units
+        return SimSummary(
+            makespan=self.makespan + other.makespan,
+            task_count=self.task_count + other.task_count,
+            event_count=self.event_count + other.event_count,
+            busy_seconds=busy, work_done=work)
+
+
+@dataclass
 class SimResult:
     """Outcome of one engine run."""
 
@@ -89,6 +129,8 @@ class SimResult:
     task_count: int
     event_count: int
     finish_times: dict = field(default_factory=dict)
+    #: populated when the engine ran with ``record_tasks=True``.
+    task_records: list = field(default_factory=list)
 
     def busy_fraction(self, kind: ResourceKind) -> float:
         """Fraction of the makespan the resource was occupied at all."""
@@ -101,6 +143,18 @@ class SimResult:
         if self.makespan <= 0:
             return 0.0
         return self.recorder.trace(kind).work_done / self.makespan
+
+    def summary(self) -> SimSummary:
+        """The mergeable :class:`SimSummary` of this run."""
+        return SimSummary(
+            makespan=self.makespan,
+            task_count=self.task_count,
+            event_count=self.event_count,
+            busy_seconds={kind.value:
+                          self.recorder.trace(kind).busy_seconds
+                          for kind in self.recorder.kinds()},
+            work_done={kind.value: self.recorder.trace(kind).work_done
+                       for kind in self.recorder.kinds()})
 
 
 def build_node_resources(node: NodeSpec, launch_slots: int = 4,
@@ -151,8 +205,16 @@ class Engine:
         self.resources = resources
         self.record_trace = record_trace
 
-    def run(self, tasks: list, keep_finish_times: bool = False) -> SimResult:
+    def run(self, tasks: list, keep_finish_times: bool = False,
+            record_tasks: bool = False) -> SimResult:
         """Execute ``tasks`` and return timing plus utilization traces.
+
+        With ``record_tasks=True`` the result additionally carries one
+        :class:`~repro.sim.trace.TaskRecord` per task (dependency
+        names, per-phase execution segments) — the raw feed for
+        :mod:`repro.telemetry`'s trace export and critical-path
+        analysis.  Purely additive: scheduling decisions are identical
+        either way.
 
         Raises :class:`RuntimeError` on dependency cycles (detected as a
         stall with unfinished tasks) and :class:`KeyError` when a phase
@@ -168,6 +230,25 @@ class Engine:
         finished = 0
         total = len(tasks)
         running: set = set()
+        records: list = []
+        segment_start: dict = {}  # task -> current segment's start time
+        segments: dict = {}  # task -> [(kind value, t0, t1), ...]
+        pred_names: dict = {}
+        if record_tasks:
+            pred_names = {id(task): [] for task in tasks}
+            for task in tasks:
+                for succ in task.succs:
+                    pred_names[id(succ)].append(task.name)
+
+        def begin_segment(task: SimTask) -> None:
+            if record_tasks:
+                segment_start[id(task)] = now
+
+        def end_segment(task: SimTask) -> None:
+            if record_tasks:
+                start = segment_start.pop(id(task))
+                segments.setdefault(id(task), []).append(
+                    (task.current_phase.kind.value, start, now))
 
         def admit(task: SimTask) -> None:
             while True:
@@ -184,15 +265,27 @@ class Engine:
             if resource.has_free_slot():
                 resource.active.append(task)
                 running.add(task)
+                begin_segment(task)
                 if task.start_time is None:
                     task.start_time = now
             else:
                 resource.queue.append(task)
+                if task.start_time is None:
+                    task.start_time = now
 
         def complete(task: SimTask) -> None:
             nonlocal finished
             task.finish_time = now
             finished += 1
+            if record_tasks:
+                records.append(TaskRecord(
+                    name=task.name,
+                    start=task.start_time if task.start_time is not None
+                    else now,
+                    end=now,
+                    preds=tuple(pred_names.get(id(task), ())),
+                    tags=dict(task.tags),
+                    segments=tuple(segments.pop(id(task), ()))))
             for succ in task.succs:
                 succ.indegree -= 1
                 if succ.indegree == 0:
@@ -234,12 +327,14 @@ class Engine:
                     completed_phase.append(task)
             for task in completed_phase:
                 resource = self.resources[task.current_phase.kind]
+                end_segment(task)
                 resource.active.remove(task)
                 running.discard(task)
                 while resource.queue and resource.has_free_slot():
                     queued = resource.queue.pop(0)
                     resource.active.append(queued)
                     running.add(queued)
+                    begin_segment(queued)
                     if queued.start_time is None:
                         queued.start_time = now
                 if task.advance_phase():
@@ -256,4 +351,4 @@ class Engine:
             finish_times = {task.name: task.finish_time for task in tasks}
         return SimResult(makespan=now, recorder=recorder,
                          task_count=total, event_count=events,
-                         finish_times=finish_times)
+                         finish_times=finish_times, task_records=records)

@@ -21,16 +21,25 @@ _RAMP = " .:-=+*#%@"
 def timeline_json(result: SimResult, bucket: float = 0.010) -> str:
     """Serialize per-resource utilization timelines as JSON.
 
-    The schema is ``{resource: {"bucket_seconds": b, "utilization":
-    [..]}, "makespan": s}`` — stable for notebook plotting.
+    The schema is ``{"makespan": s, "buckets": {resource:
+    {"bucket_seconds": b, "utilization": [..]}}}`` — stable for
+    notebook plotting.  The series covers the whole makespan: when the
+    run does not divide evenly into buckets, the final partial bucket
+    is emitted too, normalized by the time it actually covers (so a
+    resource busy to the end reads 1.0 there, not ``width/bucket``).
     """
     payload = {"makespan": result.makespan, "buckets": {}}
     for kind in result.recorder.kinds():
         _times, util = utilization_timeline(result.recorder, kind,
                                             result.makespan, bucket)
+        values = [float(value) for value in util]
+        if values:
+            covered = result.makespan - (len(values) - 1) * bucket
+            if 0 < covered < bucket:
+                values[-1] = min(1.0, values[-1] * bucket / covered)
         payload["buckets"][kind.value] = {
             "bucket_seconds": bucket,
-            "utilization": [round(float(value), 4) for value in util],
+            "utilization": [round(value, 4) for value in values],
         }
     return json.dumps(payload, indent=2, sort_keys=True)
 

@@ -19,6 +19,47 @@ from repro.sim.resource import (
 )
 
 
+@dataclass(frozen=True)
+class TaskRecord:
+    """One executed task, as the engine saw it (telemetry's raw feed).
+
+    Produced by :meth:`~repro.sim.engine.Engine.run` when asked to
+    record tasks; consumed by :mod:`repro.telemetry.chrome_trace` (one
+    trace event per execution segment) and
+    :mod:`repro.telemetry.critical_path` (dependency walk).
+
+    :param preds: names of the tasks this one waited for.
+    :param segments: ``(resource_kind_value, t0, t1)`` execution
+        segments, one per phase occupancy; time between ``start`` and
+        the first segment (or between segments) is queueing.
+    """
+
+    name: str
+    start: float
+    end: float
+    preds: tuple = ()
+    tags: dict = field(default_factory=dict)
+    segments: tuple = ()
+
+    @property
+    def duration(self) -> float:
+        """Wall (modeled) time from ready-and-admitted to finished."""
+        return self.end - self.start
+
+    def resource_seconds(self) -> dict:
+        """Execution seconds per resource kind value, summed."""
+        totals: dict = {}
+        for kind, t0, t1 in self.segments:
+            totals[kind] = totals.get(kind, 0.0) + (t1 - t0)
+        return totals
+
+    @property
+    def wait_seconds(self) -> float:
+        """Time spent queued rather than executing."""
+        executing = sum(t1 - t0 for _kind, t0, t1 in self.segments)
+        return max(0.0, self.duration - executing)
+
+
 @dataclass
 class ResourceTrace:
     """Accumulated usage of one resource over a run."""

@@ -1,0 +1,56 @@
+"""Unified telemetry: spans, metrics, Chrome-trace export, critical path.
+
+The observability layer every subsystem plugs into.  Producers
+(simulator engine, trainer, serving stack, experiment runner) emit
+:class:`Span` trees, :class:`~repro.sim.trace.TaskRecord` lists and
+registry metrics; consumers turn them into one Chrome-trace JSON
+(:func:`chrome_trace`, loadable in Perfetto) and a ranked critical-path
+report (:func:`analyze_critical_path`).  The :class:`Stats` protocol is
+the export/merge contract all headline-number objects in the repo
+satisfy.
+"""
+
+from repro.telemetry.chrome_trace import (
+    chrome_trace,
+    trace_to_json,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.telemetry.critical_path import (
+    CriticalPathReport,
+    PathEntry,
+    PathStep,
+    analyze_critical_path,
+    format_critical_path,
+)
+from repro.telemetry.metrics import Counter, Gauge, MetricsRegistry
+from repro.telemetry.span import ManualClock, Span, Tracer, maybe_span
+from repro.telemetry.stats import (
+    Stats,
+    is_stats,
+    merge_all,
+    merge_numeric_dicts,
+)
+
+__all__ = [
+    "Counter",
+    "CriticalPathReport",
+    "Gauge",
+    "ManualClock",
+    "MetricsRegistry",
+    "PathEntry",
+    "PathStep",
+    "Span",
+    "Stats",
+    "Tracer",
+    "analyze_critical_path",
+    "chrome_trace",
+    "format_critical_path",
+    "is_stats",
+    "maybe_span",
+    "merge_all",
+    "merge_numeric_dicts",
+    "trace_to_json",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

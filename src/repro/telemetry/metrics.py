@@ -1,0 +1,120 @@
+"""Counters and gauges: the scalar half of the telemetry layer.
+
+Spans answer "when"; the registry answers "how much".  A
+:class:`Counter` only accumulates (requests served, rows fetched); a
+:class:`Gauge` holds the latest level and remembers its extremes
+(queue depth, cache occupancy).  The :class:`MetricsRegistry` is itself
+a :class:`~repro.telemetry.stats.Stats` object, so a whole registry
+exports and merges like any other subsystem's stats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing scalar."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "value": self.value}
+
+    def merge(self, other: "Counter") -> "Counter":
+        """Sum with another counter of the same name."""
+        return Counter(name=self.name, value=self.value + other.value)
+
+
+@dataclass
+class Gauge:
+    """A settable level that tracks its min/max over the run."""
+
+    name: str
+    value: float = 0.0
+    low: float = field(default=float("inf"))
+    high: float = field(default=float("-inf"))
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = float(value)
+        self.low = min(self.low, self.value)
+        self.high = max(self.high, self.value)
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "value": self.value,
+            "low": self.low if self.low != float("inf") else None,
+            "high": self.high if self.high != float("-inf") else None,
+        }
+
+    def merge(self, other: "Gauge") -> "Gauge":
+        """Keep the other's (later) value, widen the extremes."""
+        return Gauge(name=self.name, value=other.value,
+                     low=min(self.low, other.low),
+                     high=max(self.high, other.high))
+
+
+class MetricsRegistry:
+    """Named counters and gauges for one run (a :class:`Stats` object)."""
+
+    def __init__(self):
+        self._counters: dict = {}
+        self._gauges: dict = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called ``name``."""
+        if name in self._gauges:
+            raise ValueError(f"{name!r} is already a gauge")
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge called ``name``."""
+        if name in self._counters:
+            raise ValueError(f"{name!r} is already a counter")
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def as_dict(self) -> dict:
+        """``{"counters": {name: value}, "gauges": {name: snapshot}}``."""
+        return {
+            "counters": {name: counter.value
+                         for name, counter in sorted(self._counters.items())},
+            "gauges": {name: gauge.as_dict()
+                       for name, gauge in sorted(self._gauges.items())},
+        }
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Union of both registries; shared names merge element-wise."""
+        merged = MetricsRegistry()
+        for name, counter in self._counters.items():
+            if name in other._counters:
+                merged._counters[name] = counter.merge(
+                    other._counters[name])
+            else:
+                merged._counters[name] = Counter(name, counter.value)
+        for name, counter in other._counters.items():
+            merged._counters.setdefault(name, Counter(name, counter.value))
+        for name, gauge in self._gauges.items():
+            if name in other._gauges:
+                merged._gauges[name] = gauge.merge(other._gauges[name])
+            else:
+                merged._gauges[name] = Gauge(name, gauge.value,
+                                             gauge.low, gauge.high)
+        for name, gauge in other._gauges.items():
+            merged._gauges.setdefault(
+                name, Gauge(name, gauge.value, gauge.low, gauge.high))
+        return merged

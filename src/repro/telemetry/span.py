@@ -1,0 +1,190 @@
+"""Hierarchical span tracing over wall-clock or modeled time.
+
+A :class:`Span` is one named, timed region with attributes; spans nest
+(each records its parent), and every subsystem appends to one shared
+:class:`Tracer` so a whole run — planning, simulation, serving, the
+experiment harness — lands on a single timeline.
+
+Two clock regimes coexist:
+
+* **wall time** — ``with tracer.span("plan"):`` reads the tracer's
+  clock (default :func:`time.perf_counter`) on entry and exit;
+* **modeled time** — simulators call :meth:`Tracer.add_span` with
+  explicit start/end seconds from their own event clock, which keeps
+  traces byte-identical across runs of the same seed (wall time never
+  leaks in).
+
+Tracks partition the timeline the way Chrome's trace viewer shows
+threads: one track per resource or pipeline stage.  Span ids are
+sequential, so a deterministic workload yields a deterministic trace.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+#: Track used when a span does not name one.
+DEFAULT_TRACK = "main"
+
+
+@dataclass
+class Span:
+    """One named, timed region of a run.
+
+    :param start: inclusive start time in seconds (clock-relative).
+    :param end: exclusive end time; ``None`` while the span is open.
+    :param track: timeline lane (Chrome-trace thread) the span renders
+        on — e.g. a resource kind or a pipeline stage.
+    :param parent_id: enclosing span's id, ``None`` for roots.
+    :param attrs: free-form metadata exported as Chrome-trace ``args``.
+    """
+
+    span_id: int
+    name: str
+    start: float
+    end: float | None = None
+    category: str = "span"
+    track: str = DEFAULT_TRACK
+    parent_id: int | None = None
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def as_dict(self) -> dict:
+        """Plain-dict snapshot (JSON-ready)."""
+        return {
+            "span_id": self.span_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "category": self.category,
+            "track": self.track,
+            "parent_id": self.parent_id,
+            "attrs": dict(self.attrs),
+        }
+
+
+class ManualClock:
+    """An explicitly-advanced clock for modeled-time tracing."""
+
+    def __init__(self, now: float = 0.0):
+        self._now = float(now)
+
+    def __call__(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> None:
+        """Move the clock forward by ``dt`` seconds (never backward)."""
+        if dt < 0:
+            raise ValueError(f"cannot advance by {dt}")
+        self._now += dt
+
+    def set(self, now: float) -> None:
+        """Jump the clock to an absolute time."""
+        self._now = float(now)
+
+
+class Tracer:
+    """Collects spans and instant events for one run.
+
+    :param clock: zero-argument callable returning the current time in
+        seconds.  Defaults to :func:`time.perf_counter`; pass a
+        :class:`ManualClock` (or any callable) for modeled time.
+    """
+
+    def __init__(self, clock=None):
+        self.clock = clock if clock is not None else time.perf_counter
+        self.spans: list = []
+        self.instants: list = []  # (time, name, track, attrs)
+        self._stack: list = []  # open span ids, innermost last
+        self._next_id = 0
+
+    def _new_span(self, name: str, start: float, category: str,
+                  track: str, attrs: dict | None,
+                  parent_id: int | None) -> Span:
+        span = Span(span_id=self._next_id, name=name, start=start,
+                    category=category, track=track, parent_id=parent_id,
+                    attrs=dict(attrs or {}))
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, category: str = "span",
+             track: str = DEFAULT_TRACK, **attrs):
+        """Open a nested span around a code block (clock-timed)."""
+        parent = self._stack[-1] if self._stack else None
+        record = self._new_span(name, self.clock(), category, track,
+                                attrs, parent)
+        self._stack.append(record.span_id)
+        try:
+            yield record
+        finally:
+            self._stack.pop()
+            record.end = self.clock()
+
+    def add_span(self, name: str, start: float, end: float,
+                 category: str = "span", track: str = DEFAULT_TRACK,
+                 attrs: dict | None = None,
+                 parent_id: int | None = None) -> Span:
+        """Record a completed span with explicit (modeled) times."""
+        if end < start:
+            raise ValueError(f"span {name!r} ends ({end}) before it "
+                             f"starts ({start})")
+        if parent_id is None and self._stack:
+            parent_id = self._stack[-1]
+        span = self._new_span(name, start, category, track, attrs,
+                              parent_id)
+        span.end = end
+        return span
+
+    def instant(self, name: str, timestamp: float | None = None,
+                track: str = DEFAULT_TRACK, **attrs) -> None:
+        """Record a zero-duration event (e.g. a shed request)."""
+        when = self.clock() if timestamp is None else timestamp
+        self.instants.append((when, name, track, dict(attrs)))
+
+    @property
+    def current_span(self) -> Span | None:
+        """The innermost open span, if any."""
+        if not self._stack:
+            return None
+        return self.spans[self._stack[-1]]
+
+    def completed_spans(self) -> list:
+        """All closed spans, in creation order."""
+        return [span for span in self.spans if span.end is not None]
+
+    def tracks(self) -> list:
+        """Track names in first-appearance order (deterministic)."""
+        seen: list = []
+        for span in self.spans:
+            if span.track not in seen:
+                seen.append(span.track)
+        for _when, _name, track, _attrs in self.instants:
+            if track not in seen:
+                seen.append(track)
+        return seen
+
+
+@contextmanager
+def maybe_span(tracer: Tracer | None, name: str, category: str = "span",
+               track: str = DEFAULT_TRACK, **attrs):
+    """``tracer.span(...)`` when a tracer is present, else a no-op.
+
+    Lets instrumented call sites keep a single code path whether or not
+    the caller asked for telemetry.
+    """
+    if tracer is None:
+        yield None
+    else:
+        with tracer.span(name, category=category, track=track,
+                         **attrs) as span:
+            yield span

@@ -1,0 +1,72 @@
+"""The ``Stats`` protocol: one export/combine contract for all metrics.
+
+Every subsystem produces some headline-number object — the embedding
+caches their hit counters, the trainer its AUC/loss record, the serving
+stack its latency report, the simulator its run summary.  Telemetry
+exports, benchmarks and the experiment runner all want the same two
+operations from them:
+
+* ``as_dict()`` — a plain-``dict`` snapshot (JSON-ready, table-ready);
+* ``merge(other)`` — combine two stats of the same type into a new one
+  (shard aggregation, multi-run accumulation), leaving both inputs
+  unchanged.
+
+:class:`Stats` is a :func:`runtime_checkable` :class:`typing.Protocol`,
+so conformance is structural: any object with those two methods
+participates, no inheritance required.  :func:`merge_all` folds a
+sequence of conforming stats; :func:`merge_numeric_dicts` is the shared
+helper for dict-shaped payloads (numeric leaves add, nested dicts
+recurse, everything else keeps the left value).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Stats(Protocol):
+    """Structural interface every stats object in the repo satisfies."""
+
+    def as_dict(self) -> dict:
+        """Plain-dict snapshot for export (JSON, tables, telemetry)."""
+        ...  # pragma: no cover - protocol
+
+    def merge(self, other: "Stats") -> "Stats":
+        """Combine with ``other`` (same type) into a new stats object."""
+        ...  # pragma: no cover - protocol
+
+
+def is_stats(obj) -> bool:
+    """Whether ``obj`` structurally satisfies :class:`Stats`."""
+    return isinstance(obj, Stats)
+
+
+def merge_numeric_dicts(left: dict, right: dict) -> dict:
+    """Merge two dict payloads: numbers add, nested dicts recurse.
+
+    Booleans and non-numeric leaves keep the left-hand value; keys
+    present on only one side pass through unchanged.
+    """
+    merged = dict(left)
+    for key, value in right.items():
+        if key not in merged:
+            merged[key] = value
+        elif isinstance(merged[key], dict) and isinstance(value, dict):
+            merged[key] = merge_numeric_dicts(merged[key], value)
+        elif (isinstance(merged[key], (int, float))
+              and isinstance(value, (int, float))
+              and not isinstance(merged[key], bool)
+              and not isinstance(value, bool)):
+            merged[key] = merged[key] + value
+    return merged
+
+
+def merge_all(stats: list):
+    """Fold a non-empty sequence of same-typed stats via ``merge``."""
+    if not stats:
+        raise ValueError("cannot merge an empty stats sequence")
+    merged = stats[0]
+    for item in stats[1:]:
+        merged = merged.merge(item)
+    return merged

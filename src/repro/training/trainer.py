@@ -12,11 +12,12 @@ from repro.data.spec import DatasetSpec
 from repro.nn.metrics import auc_score, log_loss
 from repro.nn.network import WdlNetwork
 from repro.nn.optim import Adagrad
+from repro.telemetry.span import maybe_span
 
 
 @dataclass
 class TrainResult:
-    """Outcome of one training run."""
+    """Outcome of one training run (a ``Stats`` object)."""
 
     auc: float
     logloss: float
@@ -28,6 +29,33 @@ class TrainResult:
         """Loss of the last training step."""
         return self.losses[-1] if self.losses else float("nan")
 
+    def as_dict(self) -> dict:
+        """Plain-dict snapshot for telemetry export and benchmarks."""
+        return {
+            "auc": self.auc,
+            "logloss": self.logloss,
+            "steps": self.steps,
+            "final_loss": self.final_loss,
+        }
+
+    def merge(self, other: "TrainResult") -> "TrainResult":
+        """Combine two runs: losses concatenate, quality averages.
+
+        AUC and log-loss are weighted by each run's step count — the
+        aggregation used when the same trajectory is split across
+        evaluation windows.
+        """
+        total = self.steps + other.steps
+        if total == 0:
+            return TrainResult(auc=self.auc, logloss=self.logloss,
+                               steps=0, losses=[])
+        weight = self.steps / total
+        return TrainResult(
+            auc=self.auc * weight + other.auc * (1.0 - weight),
+            logloss=self.logloss * weight + other.logloss * (1.0 - weight),
+            steps=total,
+            losses=list(self.losses) + list(other.losses))
+
 
 class SyncTrainer:
     """Synchronous training: gradients applied immediately.
@@ -38,17 +66,28 @@ class SyncTrainer:
     trajectory.
     """
 
-    def __init__(self, network: WdlNetwork, optimizer=None):
+    def __init__(self, network: WdlNetwork, optimizer=None, tracer=None):
+        """:param tracer: optional :class:`repro.telemetry.Tracer`;
+        each step becomes a wall-clock span on the ``train`` track."""
         self.network = network
         self.optimizer = optimizer or Adagrad(lr=0.05)
+        self.tracer = tracer
 
     def train(self, iterator, steps: int) -> list:
         """Run ``steps`` updates; returns per-step losses."""
         if steps < 0:
             raise ValueError("steps must be >= 0")
         losses = []
-        for batch in iterator.batches(steps):
-            losses.append(self.network.train_step(batch, self.optimizer))
+        with maybe_span(self.tracer, "train", category="training",
+                        track="train", steps=steps):
+            for index, batch in enumerate(iterator.batches(steps)):
+                with maybe_span(self.tracer, "train/step",
+                                category="training", track="train",
+                                step=index) as span:
+                    loss = self.network.train_step(batch, self.optimizer)
+                    if span is not None:
+                        span.attrs["loss"] = loss
+                losses.append(loss)
         return losses
 
 
@@ -128,11 +167,12 @@ def train_and_evaluate(dataset: DatasetSpec, variant: str,
                        batch_size: int = 2048, eval_batches: int = 20,
                        embedding_dim: int = 16, noise_scale: float = 1.0,
                        signal_scale: float = 1.0, staleness: int = 2,
-                       seed: int = 0) -> TrainResult:
+                       seed: int = 0, tracer=None) -> TrainResult:
     """The Tab. III harness: train one model, report held-out AUC.
 
     :param mode: ``"sync"`` (PICASSO / PyTorch / Horovod trajectory) or
         ``"async-ps"`` (TF-PS with gradient staleness).
+    :param tracer: optional telemetry tracer forwarded to the trainer.
     """
     if mode not in ("sync", "async-ps"):
         raise ValueError(f"unknown mode {mode!r}")
@@ -142,7 +182,7 @@ def train_and_evaluate(dataset: DatasetSpec, variant: str,
                                       noise_scale=noise_scale,
                                       signal_scale=signal_scale, seed=seed)
     if mode == "sync":
-        trainer = SyncTrainer(network)
+        trainer = SyncTrainer(network, tracer=tracer)
     else:
         trainer = AsyncPsTrainer(network, staleness=staleness)
     losses = trainer.train(train_iter, steps)

@@ -1,0 +1,179 @@
+"""Tests for the RunConfig/run facade and the Stats protocol."""
+
+import pytest
+
+from repro import api
+from repro.api import FRAMEWORKS, ProfileResult, RunConfig
+from repro.embedding.hybrid_hash import CacheStats
+from repro.embedding.multilevel import TierStats
+from repro.hardware import eflops_cluster
+from repro.serving.metrics import ServingReport
+from repro.sim.engine import SimSummary
+from repro.telemetry import MetricsRegistry, is_stats, validate_chrome_trace
+from repro.training.trainer import TrainResult
+
+TINY = RunConfig(model="DLRM", dataset="Criteo", scale=0.001,
+                 cluster="eflops:2", batch_size=512, iterations=1)
+
+
+class TestParseCluster:
+    def test_named_specs(self):
+        cluster = api.parse_cluster("eflops:4")
+        assert cluster.num_nodes == 4
+        assert api.parse_cluster("gn6e:1").num_nodes == 1
+
+    def test_default_node_count(self):
+        assert api.parse_cluster("eflops").num_nodes == 1
+
+    def test_built_cluster_passes_through(self):
+        built = eflops_cluster(2)
+        assert api.parse_cluster(built) is built
+
+    def test_unknown_testbed_rejected(self):
+        with pytest.raises(ValueError):
+            api.parse_cluster("tpu:4")
+
+
+class TestRunConfig:
+    def test_defaults_resolve(self):
+        config = RunConfig()
+        assert config.framework == "PICASSO"
+        assert config.resolved_cluster().num_nodes == 16
+        model = config.build_model()
+        assert model.name == "W&D"
+
+    def test_with_overrides(self):
+        swept = TINY.with_overrides(framework="TF-PS", batch_size=1024)
+        assert swept.framework == "TF-PS"
+        assert swept.batch_size == 1024
+        assert swept.model == TINY.model
+        assert TINY.framework == "PICASSO"  # original untouched
+
+    def test_as_dict_snapshot(self):
+        snapshot = TINY.as_dict()
+        assert snapshot["cluster"] == "EFLOPS:2"
+        assert snapshot["model"] == "DLRM"
+        assert snapshot["batch_size"] == 512
+
+    def test_unknown_model_and_dataset(self):
+        with pytest.raises(ValueError):
+            RunConfig(model="BERT").build_model()
+        with pytest.raises(ValueError):
+            RunConfig(dataset="ImageNet").build_model()
+
+
+class TestRunFacade:
+    def test_unknown_framework_rejected(self):
+        with pytest.raises(ValueError):
+            api.run(TINY.with_overrides(framework="MXNet"))
+
+    def test_run_returns_report(self):
+        report = api.run(TINY)
+        assert report.ips > 0
+        assert report.result.makespan > 0
+        # record_tasks defaults off: no per-task telemetry collected.
+        assert report.result.task_records == []
+
+    def test_record_tasks_collects_records(self):
+        report = api.run(TINY.with_overrides(record_tasks=True))
+        assert len(report.result.task_records) > 0
+        summary = report.result.summary()
+        assert summary.task_count == len(report.result.task_records)
+
+    def test_model_reuse_matches_rebuild(self):
+        model = TINY.build_model()
+        with_reuse = api.run(TINY, model=model)
+        without = api.run(TINY)
+        assert with_reuse.ips == pytest.approx(without.ips)
+
+    def test_every_framework_runs(self):
+        for framework in FRAMEWORKS:
+            report = api.run(TINY.with_overrides(framework=framework))
+            assert report.ips > 0, framework
+
+    def test_picasso_beats_base(self):
+        picasso = api.run(TINY)
+        base = api.run(TINY.with_overrides(framework="PICASSO(Base)"))
+        assert picasso.ips > base.ips
+
+
+class TestProfileFacade:
+    def test_profile_result_shape(self):
+        result = api.profile(TINY, top_k=5)
+        assert isinstance(result, ProfileResult)
+        assert result.report.ips > 0
+        assert result.critical_path.top_k == 5
+        assert validate_chrome_trace(result.trace) > 0
+
+    def test_profile_embeds_workload_metadata(self):
+        result = api.profile(TINY)
+        workload = result.trace["otherData"]["workload"]
+        assert workload["model"] == "DLRM"
+        assert workload["record_tasks"] is True
+
+
+class TestStatsProtocol:
+    def test_conformance(self):
+        examples = [
+            CacheStats(hot_hits=3, cold_misses=1, flushes=0),
+            TierStats(hits=4),
+            TrainResult(auc=0.7, logloss=0.3, steps=10, losses=[0.3]),
+            ServingReport(served=1, shed=0, p50_ms=1.0, p95_ms=2.0,
+                          p99_ms=3.0, qps=10.0, shed_rate=0.0,
+                          cache_hit_ratio=0.5, makespan_s=0.1,
+                          stage_seconds={}),
+            SimSummary(makespan=1.0, task_count=2, event_count=3),
+            MetricsRegistry(),
+        ]
+        for example in examples:
+            assert is_stats(example), type(example).__name__
+            merged = example.merge(example)
+            assert is_stats(merged)
+            assert isinstance(example.as_dict(), dict)
+
+    def test_cache_stats_merge_sums(self):
+        left = CacheStats(hot_hits=3, cold_misses=1, flushes=2)
+        merged = left.merge(CacheStats(hot_hits=1, cold_misses=1,
+                                       flushes=0))
+        assert merged.hot_hits == 4
+        assert merged.cold_misses == 2
+        assert merged.flushes == 2
+        assert merged.hit_ratio == pytest.approx(4 / 6)
+
+    def test_train_result_merge_weights_by_steps(self):
+        one = TrainResult(auc=0.6, logloss=0.4, steps=10,
+                          losses=[0.5, 0.4])
+        two = TrainResult(auc=0.8, logloss=0.2, steps=30, losses=[0.3])
+        merged = one.merge(two)
+        assert merged.steps == 40
+        assert merged.auc == pytest.approx(0.75)
+        assert merged.logloss == pytest.approx(0.25)
+        assert merged.losses == [0.5, 0.4, 0.3]
+
+    def test_sim_summary_merge_adds(self):
+        one = SimSummary(makespan=1.0, task_count=2, event_count=3,
+                         busy_seconds={"gpu_sm": 0.5})
+        two = SimSummary(makespan=2.0, task_count=4, event_count=5,
+                         busy_seconds={"gpu_sm": 1.0, "net": 0.25})
+        merged = one.merge(two)
+        assert merged.makespan == pytest.approx(3.0)
+        assert merged.task_count == 6
+        assert merged.busy_seconds["gpu_sm"] == pytest.approx(1.5)
+        assert merged.busy_seconds["net"] == pytest.approx(0.25)
+
+    def test_serving_report_merge(self):
+        one = ServingReport(served=10, shed=0, p50_ms=1.0, p95_ms=2.0,
+                            p99_ms=3.0, qps=100.0, shed_rate=0.0,
+                            cache_hit_ratio=0.8, makespan_s=0.1,
+                            stage_seconds={"fetch": 0.01})
+        two = ServingReport(served=30, shed=10, p50_ms=2.0, p95_ms=1.0,
+                            p99_ms=4.0, qps=300.0, shed_rate=0.25,
+                            cache_hit_ratio=0.4, makespan_s=0.1,
+                            stage_seconds={"fetch": 0.03, "compute": 0.1})
+        merged = one.merge(two)
+        assert merged.served == 40
+        assert merged.shed == 10
+        assert merged.p95_ms == pytest.approx(2.0)  # pairwise max
+        assert merged.shed_rate == pytest.approx(10 / 50)
+        assert merged.cache_hit_ratio == pytest.approx(0.5)
+        assert merged.stage_seconds["fetch"] == pytest.approx(0.04)

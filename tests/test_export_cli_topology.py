@@ -36,6 +36,17 @@ class TestExport:
         assert series[0] == pytest.approx(1.0)
         assert series[-1] == pytest.approx(0.0)
 
+    def test_timeline_json_final_partial_bucket(self):
+        # makespan 7.0 with bucket 2.0 -> 4 buckets; the last covers
+        # only [6, 7) and must be normalized by that 1 s, not by 2 s.
+        payload = json.loads(timeline_json(_result(), bucket=2.0))
+        series = payload["buckets"]["gpu_sm"]["utilization"]
+        assert len(series) == 4
+        # gpu_sm runs 5..7 at full rate: bucket [4,6) is half busy,
+        # and the trailing partial bucket [6,7) is fully busy.
+        assert series[-2] == pytest.approx(0.5)
+        assert series[-1] == pytest.approx(1.0)
+
     def test_ascii_gantt_rows(self):
         chart = ascii_gantt(_result(), width=20)
         lines = chart.splitlines()
@@ -133,6 +144,19 @@ class TestCli:
                      "--width", "30"])
         assert code == 0
         assert "|" in capsys.readouterr().out
+
+    def test_profile_command(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        code = main(["profile", "--model", "DLRM", "--dataset",
+                     "Criteo", "--scale", "0.001", "--cluster",
+                     "eflops:2", "--batch", "512", "--iterations", "1",
+                     "--output", str(trace_path), "--top", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "coverage" in out
+        payload = json.loads(trace_path.read_text())
+        assert payload["traceEvents"]
 
     def test_unknown_model_rejected(self):
         with pytest.raises(SystemExit):
