@@ -1,0 +1,44 @@
+"""Run-health monitors on the paper's workloads (Fig. 4/5, Eq. 3).
+
+The pulse detector must see the baseline frameworks' alternating
+memory-bound / compute-bound utilization pulses (the Fig. 4/5 sawtooth
+PICASSO sets out to flatten), and the overlap monitor must measure a
+strictly higher comm/compute overlap ratio with K-Interleaving on than
+off — the observable consequence of Eq. 3's pipelining.
+"""
+
+from conftest import run_once, show
+
+from repro.experiments import monitor_health
+
+
+def test_baseline_pulses_alternate(benchmark):
+    rows = run_once(benchmark, monitor_health.run_monitor_health)
+    show("Run-health monitors (W&D, Product-1)", rows,
+         reference="Fig. 4/5: baselines pulse between embedding "
+                   "(memory) and dense (compute) stages; PICASSO "
+                   "flattens the sawtooth.")
+    by_framework = {row["framework"]: row for row in rows}
+    for framework in ("TF-PS", "PyTorch"):
+        row = by_framework[framework]
+        mem, compute, _idle = map(int, row["mem/compute/idle"].split("/"))
+        assert mem >= 1, framework
+        assert compute >= 1, framework
+        assert row["alternations"] >= 2, framework
+    benchmark.extra_info["rows"] = rows
+
+
+def test_interleaving_raises_overlap_ratio(benchmark):
+    rows = run_once(benchmark, monitor_health.run_overlap_ablation)
+    show("Overlap-ratio ablation (Eq. 3)", rows,
+         reference="K-Interleaving hides communication behind other "
+                   "groups' compute, so the measured overlap ratio "
+                   "must rise when it is enabled.")
+    by_mode = {row["variant"]: row for row in rows}
+    ratio_on = float(
+        by_mode["interleaving on"]["overlap"].rstrip("%")) / 100.0
+    ratio_off = float(
+        by_mode["interleaving off"]["overlap"].rstrip("%")) / 100.0
+    assert ratio_on > ratio_off
+    benchmark.extra_info["overlap_on"] = ratio_on
+    benchmark.extra_info["overlap_off"] = ratio_off

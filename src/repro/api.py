@@ -32,9 +32,14 @@ from repro.models import MODEL_BUILDERS
 from repro.models.base import ModelSpec
 from repro.telemetry import (
     CriticalPathReport,
+    OverlapMonitor,
+    PulseDetector,
+    Tracer,
     analyze_critical_path,
     chrome_trace,
+    emit_alerts,
 )
+from repro.telemetry.span import ManualClock
 
 #: Framework names :func:`run` dispatches on.
 FRAMEWORKS = ("PICASSO", "PICASSO(Base)", "TF-PS", "PyTorch", "Horovod",
@@ -150,30 +155,46 @@ def run(config: RunConfig, model: ModelSpec | None = None) -> RunReport:
 
 @dataclass(frozen=True)
 class ProfileResult:
-    """A profiled run: the report plus its telemetry products."""
+    """A profiled run: the report plus its telemetry products.
+
+    ``monitors`` maps monitor name (``pulse``, ``overlap``) to its
+    :class:`~repro.telemetry.MonitorReport`; any alerts the monitors
+    raised are also embedded in ``trace`` as instant events on the
+    ``alerts`` track.
+    """
 
     report: RunReport
     critical_path: CriticalPathReport
     trace: dict  # Chrome-trace payload (chrome://tracing / Perfetto)
+    monitors: dict = field(default_factory=dict)
 
 
 def profile(config: RunConfig, model: ModelSpec | None = None,
             top_k: int = 10) -> ProfileResult:
     """Run with telemetry on and analyze the result in one call.
 
-    The returned trace payload and critical-path report are pure
-    functions of the modeled run, so two profiles of the same config
-    serialize byte-identically.
+    The returned trace payload, critical-path report and health
+    monitors are pure functions of the modeled run, so two profiles of
+    the same config serialize byte-identically.
     """
     config = replace(config, record_tasks=True)
     report = run(config, model=model)
     result = report.result
     critical = analyze_critical_path(result.task_records,
                                      result.makespan, top_k=top_k)
+    monitors = {}
+    pulse = PulseDetector()
+    monitors[pulse.name] = pulse.analyze(result.recorder, result.makespan)
+    overlap = OverlapMonitor()
+    monitors[overlap.name] = overlap.analyze(
+        result.recorder, result.makespan, records=result.task_records)
+    tracer = Tracer(clock=ManualClock())
+    emit_alerts(tracer, monitors.values())
     trace = chrome_trace(records=result.task_records,
+                         tracer=tracer,
                          recorder=result.recorder,
                          makespan=result.makespan,
                          metadata={"workload": config.as_dict(),
                                    "report_name": report.name})
     return ProfileResult(report=report, critical_path=critical,
-                         trace=trace)
+                         trace=trace, monitors=monitors)

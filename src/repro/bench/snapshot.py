@@ -1,0 +1,241 @@
+"""Schema-versioned benchmark snapshots + per-metric regression gates.
+
+A :class:`BenchSnapshot` freezes one benchmark's headline numbers —
+flat metrics, monitor summaries, the exact config it ran under — into
+a ``BENCH_<name>.json`` file whose bytes are a pure function of the
+run (sorted keys, fixed separators, no timestamps).  CI commits the
+snapshots as baselines; :func:`compare_snapshots` diffs a candidate
+against its baseline metric by metric, each with its own relative
+tolerance, and the resulting :class:`GateReport` is what the
+``repro bench`` CLI renders and exits non-zero on.
+
+The config fingerprint guards against silent workload drift: a gate
+only means something if baseline and candidate measured the same
+thing, so a changed config fails the gate outright rather than
+producing an apples-to-oranges "pass".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+
+#: Bump when the snapshot layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Gate tolerance applied to metrics without an explicit one (5%).
+DEFAULT_TOLERANCE = 0.05
+
+
+def canonical_json(payload: dict) -> str:
+    """Deterministic JSON: sorted keys, fixed separators, newline EOF."""
+    return json.dumps(payload, sort_keys=True, indent=1,
+                      separators=(",", ": ")) + "\n"
+
+
+def config_fingerprint(config: dict) -> str:
+    """Short stable hash of a config dict (workload identity)."""
+    compact = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(compact.encode("utf-8")).hexdigest()[:16]
+
+
+def snapshot_filename(name: str) -> str:
+    """``BENCH_<name>.json`` for a benchmark called ``name``."""
+    return f"BENCH_{name}.json"
+
+
+@dataclass(frozen=True)
+class BenchSnapshot:
+    """One benchmark's frozen results.
+
+    :param metrics: flat ``{metric: number}`` — the gated surface.
+    :param monitors: ``{monitor: summary dict}`` from
+        :class:`~repro.telemetry.MonitorReport` summaries (recorded for
+        inspection; gated only via metrics that mirror them).
+    :param tolerances: per-metric relative tolerance overrides; metrics
+        absent here gate at :data:`DEFAULT_TOLERANCE`.  A tolerance of
+        0 demands exact equality (use for counts).
+    """
+
+    name: str
+    config: dict
+    metrics: dict
+    monitors: dict = field(default_factory=dict)
+    tolerances: dict = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    @property
+    def fingerprint(self) -> str:
+        return config_fingerprint(self.config)
+
+    def tolerance_for(self, metric: str) -> float:
+        return float(self.tolerances.get(metric, DEFAULT_TOLERANCE))
+
+    def as_dict(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "name": self.name,
+            "config": self.config,
+            "config_fingerprint": self.fingerprint,
+            "metrics": self.metrics,
+            "monitors": self.monitors,
+            "tolerances": self.tolerances,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BenchSnapshot":
+        return cls(
+            name=payload["name"],
+            config=payload["config"],
+            metrics=payload["metrics"],
+            monitors=payload.get("monitors", {}),
+            tolerances=payload.get("tolerances", {}),
+            schema_version=payload.get("schema_version", SCHEMA_VERSION))
+
+
+def write_snapshot(snapshot: BenchSnapshot, directory: str) -> str:
+    """Write ``BENCH_<name>.json`` under ``directory``; returns the path.
+
+    Byte-deterministic: two snapshots of identical runs are identical
+    files.
+    """
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, snapshot_filename(snapshot.name))
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(canonical_json(snapshot.as_dict()))
+    return path
+
+
+def load_snapshot(path: str) -> BenchSnapshot:
+    """Read a snapshot back; raises on schema-version mismatch."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: snapshot schema v{version} != "
+            f"supported v{SCHEMA_VERSION}; regenerate the baseline")
+    return BenchSnapshot.from_dict(payload)
+
+
+@dataclass(frozen=True)
+class MetricGate:
+    """One metric's baseline-vs-candidate verdict."""
+
+    metric: str
+    baseline: float | None
+    current: float | None
+    rel_delta: float
+    tolerance: float
+    status: str  # "ok" | "fail" | "new" | "missing"
+
+    @property
+    def failed(self) -> bool:
+        return self.status in ("fail", "missing")
+
+    def as_dict(self) -> dict:
+        return {
+            "metric": self.metric,
+            "baseline": self.baseline,
+            "current": self.current,
+            "rel_delta": self.rel_delta,
+            "tolerance": self.tolerance,
+            "status": self.status,
+        }
+
+
+@dataclass(frozen=True)
+class GateReport:
+    """Per-metric comparison of one benchmark against its baseline."""
+
+    name: str
+    gates: tuple
+    fingerprint_match: bool
+
+    @property
+    def passed(self) -> bool:
+        return self.fingerprint_match \
+            and not any(gate.failed for gate in self.gates)
+
+    @property
+    def failures(self) -> list:
+        return [gate for gate in self.gates if gate.failed]
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "passed": self.passed,
+            "fingerprint_match": self.fingerprint_match,
+            "gates": [gate.as_dict() for gate in self.gates],
+        }
+
+    def format(self) -> str:
+        """Readable per-metric report (what the CLI prints)."""
+        lines = [f"bench {self.name}: "
+                 f"{'PASS' if self.passed else 'FAIL'}"]
+        if not self.fingerprint_match:
+            lines.append("  config fingerprint mismatch: baseline and "
+                         "candidate ran different workloads")
+        header = (f"  {'metric':<28} {'baseline':>14} {'current':>14} "
+                  f"{'delta':>9} {'tol':>7}  status")
+        lines.append(header)
+        lines.append("  " + "-" * (len(header) - 2))
+        for gate in self.gates:
+            baseline = ("-" if gate.baseline is None
+                        else f"{gate.baseline:.6g}")
+            current = ("-" if gate.current is None
+                       else f"{gate.current:.6g}")
+            delta = ("-" if gate.rel_delta != gate.rel_delta  # NaN
+                     else f"{gate.rel_delta:+.2%}")
+            lines.append(
+                f"  {gate.metric:<28} {baseline:>14} {current:>14} "
+                f"{delta:>9} {gate.tolerance:>6.1%}  {gate.status}")
+        return "\n".join(lines)
+
+
+def _relative_delta(baseline: float, current: float) -> float:
+    """Signed relative change, safe around a zero baseline."""
+    if baseline == current:
+        return 0.0
+    denominator = max(abs(baseline), 1e-12)
+    return (current - baseline) / denominator
+
+
+def compare_snapshots(baseline: BenchSnapshot,
+                      candidate: BenchSnapshot) -> GateReport:
+    """Gate ``candidate`` against ``baseline``, metric by metric.
+
+    Baseline metrics missing from the candidate fail (``missing``);
+    candidate metrics absent from the baseline are reported as ``new``
+    without failing (the baseline update will absorb them).
+    """
+    gates = []
+    for metric in sorted(baseline.metrics):
+        tolerance = baseline.tolerance_for(metric)
+        base_value = float(baseline.metrics[metric])
+        if metric not in candidate.metrics:
+            gates.append(MetricGate(
+                metric=metric, baseline=base_value, current=None,
+                rel_delta=float("nan"), tolerance=tolerance,
+                status="missing"))
+            continue
+        current = float(candidate.metrics[metric])
+        delta = _relative_delta(base_value, current)
+        status = "ok" if abs(delta) <= tolerance else "fail"
+        gates.append(MetricGate(
+            metric=metric, baseline=base_value, current=current,
+            rel_delta=delta, tolerance=tolerance, status=status))
+    for metric in sorted(candidate.metrics):
+        if metric in baseline.metrics:
+            continue
+        gates.append(MetricGate(
+            metric=metric, baseline=None,
+            current=float(candidate.metrics[metric]),
+            rel_delta=float("nan"),
+            tolerance=baseline.tolerance_for(metric), status="new"))
+    return GateReport(
+        name=baseline.name,
+        gates=tuple(gates),
+        fingerprint_match=baseline.fingerprint == candidate.fingerprint)

@@ -1,0 +1,206 @@
+"""The built-in benchmark suite behind ``repro bench``.
+
+Each benchmark is one deterministic, CI-sized workload reduced to a
+:class:`~repro.bench.snapshot.BenchSnapshot`:
+
+* ``training`` — a profiled PICASSO W&D run: throughput, utilization,
+  critical-path coverage, pulse-phase structure;
+* ``interleaving`` — the same workload with K-Interleaving on vs off:
+  the comm/compute overlap ratios and their gap (Eq. 3's win, gated so
+  a scheduler regression that stops hiding communication fails CI);
+* ``serving`` — the end-to-end serving simulation: latency
+  percentiles, QPS, shed rate, SLO burn rate;
+* ``cache`` — HybridHash over a bounded-Zipf stream: hit ratio, EWMA
+  level, flush effectiveness (Algorithm 1's health).
+
+Workloads are deliberately small (seconds each): the gate's job is
+catching regressions on every PR, not measuring peak numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api import RunConfig, profile
+from repro.bench.snapshot import BenchSnapshot
+from repro.core import PicassoConfig
+from repro.data import BoundedZipf
+from repro.embedding.hybrid_hash import HybridHash
+from repro.embedding.table import EmbeddingTable
+from repro.serving.metrics import ServingMetrics
+from repro.serving.server import simulate_serving
+from repro.telemetry import CacheHealthMonitor, SloBurnRateMonitor
+
+#: The tiny-but-representative training workload the gates run on.
+_TRAIN_CONFIG = dict(model="W&D", dataset="Product-1", scale=0.05,
+                     cluster="eflops:2", batch_size=4_000, iterations=2)
+
+#: The interleaving comparison needs >1 worker per set to pipeline.
+_INTERLEAVE_CONFIG = dict(model="W&D", dataset="Product-1", scale=0.05,
+                          cluster="eflops:4", batch_size=8_000,
+                          iterations=2)
+
+
+def bench_training() -> BenchSnapshot:
+    """Profiled PICASSO run: throughput + health-monitor structure."""
+    config = RunConfig(**_TRAIN_CONFIG)
+    result = profile(config)
+    report = result.report
+    pulse = result.monitors["pulse"].summary
+    overlap = result.monitors["overlap"].summary
+    metrics = {
+        "ips": report.ips,
+        "seconds_per_iteration": report.seconds_per_iteration,
+        "sm_utilization": report.sm_utilization,
+        "makespan_s": report.result.makespan,
+        "task_count": report.result.summary().task_count,
+        "critical_path_coverage": result.critical_path.coverage(10),
+        "pulse_phases": pulse["num_phases"],
+        "pulse_idle_fraction": pulse["idle_fraction"],
+        "overlap_ratio": overlap["overlap_ratio"],
+    }
+    tolerances = {
+        "task_count": 0.0,
+        "pulse_phases": 0.0,
+        "pulse_idle_fraction": 0.10,
+        "overlap_ratio": 0.10,
+        "critical_path_coverage": 0.02,
+    }
+    return BenchSnapshot(
+        name="training",
+        config=dict(_TRAIN_CONFIG),
+        metrics=metrics,
+        monitors={"pulse": pulse, "overlap": overlap},
+        tolerances=tolerances)
+
+
+def bench_interleaving() -> BenchSnapshot:
+    """K-Interleaving on vs off: overlap ratios and their gap."""
+    results = {}
+    for label, picasso in (("on", PicassoConfig()),
+                           ("off", PicassoConfig().without("interleaving"))):
+        config = RunConfig(picasso=picasso, **_INTERLEAVE_CONFIG)
+        results[label] = profile(config)
+    overlap_on = results["on"].monitors["overlap"].summary
+    overlap_off = results["off"].monitors["overlap"].summary
+    metrics = {
+        "overlap_ratio_on": overlap_on["overlap_ratio"],
+        "overlap_ratio_off": overlap_off["overlap_ratio"],
+        "overlap_gain": (overlap_on["overlap_ratio"]
+                         - overlap_off["overlap_ratio"]),
+        "overlapped_seconds_on": overlap_on["overlapped_seconds"],
+        "ips_on": results["on"].report.ips,
+        "ips_off": results["off"].report.ips,
+    }
+    tolerances = {
+        "overlap_ratio_on": 0.10,
+        "overlap_ratio_off": 0.10,
+        "overlap_gain": 0.10,
+        "overlapped_seconds_on": 0.10,
+    }
+    return BenchSnapshot(
+        name="interleaving",
+        config=dict(_INTERLEAVE_CONFIG),
+        metrics=metrics,
+        monitors={"overlap_on": overlap_on, "overlap_off": overlap_off},
+        tolerances=tolerances)
+
+
+def bench_serving() -> BenchSnapshot:
+    """End-to-end serving run: percentiles, QPS and SLO burn rate."""
+    config = dict(num_requests=2_000, seed=0, rate_qps=20_000.0,
+                  cache="hbm-dram", slo_ms=20.0)
+    metrics_sink = ServingMetrics()
+    report = simulate_serving(
+        num_requests=config["num_requests"], seed=config["seed"],
+        rate_qps=config["rate_qps"], cache=config["cache"],
+        slo_s=config["slo_ms"] * 1e-3, metrics=metrics_sink)
+    monitor = SloBurnRateMonitor(slo_ms=config["slo_ms"])
+    slo = monitor.analyze(metrics_sink)
+    metrics = {
+        "served": report.served,
+        "shed": report.shed,
+        "p50_ms": report.p50_ms,
+        "p95_ms": report.p95_ms,
+        "p99_ms": report.p99_ms,
+        "qps": report.qps,
+        "shed_rate": report.shed_rate,
+        "cache_hit_ratio": report.cache_hit_ratio,
+        "slo_burn_rate": slo.summary["overall_burn_rate"],
+        "slo_violations": slo.summary["violations"],
+    }
+    tolerances = {
+        "served": 0.0,
+        "shed": 0.0,
+        "slo_violations": 0.0,
+        "p50_ms": 0.05,
+        "p95_ms": 0.05,
+        "p99_ms": 0.05,
+        "cache_hit_ratio": 0.02,
+    }
+    return BenchSnapshot(
+        name="serving",
+        config=config,
+        metrics=metrics,
+        monitors={"slo": slo.summary},
+        tolerances=tolerances)
+
+
+def bench_cache() -> BenchSnapshot:
+    """HybridHash over a bounded-Zipf stream: Algorithm 1's health."""
+    config = dict(vocab_size=50_000, exponent=1.2, batch_size=512,
+                  iterations=120, hot_rows=2_000, warmup_iters=20,
+                  flush_iters=25, dim=8, seed=0)
+    table = EmbeddingTable(dim=config["dim"], seed=config["seed"])
+    cache = HybridHash(
+        table, hot_bytes=config["hot_rows"] * config["dim"] * 4,
+        warmup_iters=config["warmup_iters"],
+        flush_iters=config["flush_iters"])
+    sampler = BoundedZipf(vocab_size=config["vocab_size"],
+                          exponent=config["exponent"])
+    rng = np.random.default_rng(config["seed"])
+    for _ in range(config["iterations"]):
+        cache.lookup(sampler.sample(config["batch_size"], rng))
+    monitor = CacheHealthMonitor()
+    health = monitor.analyze(cache)
+    metrics = {
+        "hit_ratio": cache.stats.hit_ratio,
+        "queries": cache.stats.queries,
+        "flushes": cache.stats.flushes,
+        "ewma_hit_ratio": health.summary["ewma_hit_ratio"],
+        "mean_flush_effect": health.summary["mean_flush_effect"],
+        "min_hit_ratio": health.summary["min_hit_ratio"],
+    }
+    tolerances = {
+        "queries": 0.0,
+        "flushes": 0.0,
+        "hit_ratio": 0.02,
+        "ewma_hit_ratio": 0.02,
+        "mean_flush_effect": 0.25,
+        "min_hit_ratio": 0.05,
+    }
+    return BenchSnapshot(
+        name="cache",
+        config=config,
+        metrics=metrics,
+        monitors={"cache": health.summary},
+        tolerances=tolerances)
+
+
+#: Name -> builder for every benchmark ``repro bench run`` knows.
+BENCHES = {
+    "training": bench_training,
+    "interleaving": bench_interleaving,
+    "serving": bench_serving,
+    "cache": bench_cache,
+}
+
+
+def run_benches(names=None) -> list:
+    """Build the selected (default: all) snapshots, in listed order."""
+    selected = list(BENCHES) if names is None else list(names)
+    unknown = [name for name in selected if name not in BENCHES]
+    if unknown:
+        raise ValueError(
+            f"unknown bench(es) {unknown}; expected {list(BENCHES)}")
+    return [BENCHES[name]() for name in selected]

@@ -10,7 +10,10 @@ Commands:
 * ``gantt`` — ASCII utilization timeline of a simulated run.
 * ``serve`` — online inference serving simulation with SLO metrics.
 * ``profile`` — run one workload with telemetry on, write a
-  Chrome-trace JSON (loads in Perfetto) and print the critical path.
+  Chrome-trace JSON (loads in Perfetto) and print the critical path
+  plus run-health monitor verdicts.
+* ``bench`` — run the regression benchmark suite (``bench run``) and
+  gate candidate snapshots against baselines (``bench compare``).
 
 Workload commands are thin wrappers over the :mod:`repro.api` facade:
 flags build a :class:`~repro.api.RunConfig`, :func:`repro.api.run`
@@ -20,10 +23,19 @@ executes it.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro import api
 from repro.api import RunConfig
+from repro.bench import (
+    BENCHES,
+    compare_snapshots,
+    load_snapshot,
+    run_benches,
+    snapshot_filename,
+    write_snapshot,
+)
 from repro.core import PicassoConfig
 from repro.data import ALL_DATASETS
 from repro.experiments import runner as experiment_runner
@@ -184,8 +196,78 @@ def cmd_profile(args) -> int:
           f"{report.seconds_per_iteration * 1e3:.1f} ms/iter, "
           f"{len(report.result.task_records)} tasks")
     print(format_critical_path(profiled.critical_path))
+    for name, monitor in sorted(profiled.monitors.items()):
+        verdict = "healthy" if monitor.healthy else "UNHEALTHY"
+        if name == "pulse":
+            detail = (f"{monitor.summary['num_phases']} phases "
+                      f"({monitor.summary['alternations']} mem<->compute "
+                      f"alternations), "
+                      f"{monitor.summary['idle_fraction']:.1%} idle")
+        elif name == "overlap":
+            detail = (f"comm/compute overlap "
+                      f"{monitor.summary['overlap_ratio']:.1%} "
+                      f"({monitor.summary['exposed_seconds'] * 1e3:.1f} ms "
+                      f"exposed)")
+        else:
+            detail = ""
+        print(f"monitor {name}: {verdict} — {detail}")
+        for alert in monitor.alerts:
+            print(f"  [{alert.severity}] t={alert.time_s:.3f}s "
+                  f"{alert.message}")
     print(f"chrome trace: {path} "
           f"(open in chrome://tracing or https://ui.perfetto.dev)")
+    return 0
+
+
+def cmd_bench_run(args) -> int:
+    out_dir = args.baseline_dir if args.update_baseline else args.out
+    names = args.only.split(",") if args.only else None
+    try:
+        snapshots = run_benches(names)
+    except ValueError as error:
+        raise SystemExit(str(error))
+    for snapshot in snapshots:
+        path = write_snapshot(snapshot, out_dir)
+        print(f"bench {snapshot.name}: wrote {path} "
+              f"({len(snapshot.metrics)} metrics, "
+              f"fingerprint {snapshot.fingerprint})")
+    if args.update_baseline:
+        print(f"baselines updated in {args.baseline_dir}")
+    return 0
+
+
+def cmd_bench_compare(args) -> int:
+    names = args.only.split(",") if args.only else sorted(BENCHES)
+    failures = 0
+    for name in names:
+        baseline_path = os.path.join(args.baseline,
+                                     snapshot_filename(name))
+        candidate_path = os.path.join(args.candidate,
+                                      snapshot_filename(name))
+        if not os.path.exists(baseline_path):
+            print(f"bench {name}: no baseline at {baseline_path} "
+                  "(skipping; run with --update-baseline to create)")
+            continue
+        if not os.path.exists(candidate_path):
+            print(f"bench {name}: FAIL — candidate snapshot missing "
+                  f"at {candidate_path}")
+            failures += 1
+            continue
+        try:
+            baseline = load_snapshot(baseline_path)
+            candidate = load_snapshot(candidate_path)
+        except ValueError as error:
+            print(f"bench {name}: FAIL — {error}")
+            failures += 1
+            continue
+        report = compare_snapshots(baseline, candidate)
+        print(report.format())
+        if not report.passed:
+            failures += 1
+    if failures:
+        print(f"{failures} bench gate(s) FAILED")
+        return 1
+    print("all bench gates passed")
     return 0
 
 
@@ -267,6 +349,39 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--top", type=int, default=10,
                       help="entries in the critical-path ranking")
     prof.set_defaults(func=cmd_profile)
+
+    bench = sub.add_parser(
+        "bench",
+        help="regression-gated benchmark snapshots (BENCH_*.json)")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    bench_run = bench_sub.add_parser(
+        "run", help="run the suite and write BENCH_<name>.json files")
+    bench_run.add_argument("--out", default="bench_out",
+                           help="snapshot output directory")
+    bench_run.add_argument("--only",
+                           help="comma-separated bench names "
+                                f"(default: all of {list(BENCHES)})")
+    bench_run.add_argument("--update-baseline", action="store_true",
+                           help="write snapshots to the baseline "
+                                "directory instead of --out")
+    bench_run.add_argument("--baseline-dir",
+                           default="benchmarks/baselines",
+                           help="committed baseline directory")
+    bench_run.set_defaults(func=cmd_bench_run)
+
+    bench_compare = bench_sub.add_parser(
+        "compare",
+        help="gate candidate snapshots against baselines "
+             "(exit 1 on violation)")
+    bench_compare.add_argument("--baseline",
+                               default="benchmarks/baselines",
+                               help="baseline snapshot directory")
+    bench_compare.add_argument("--candidate", default="bench_out",
+                               help="candidate snapshot directory")
+    bench_compare.add_argument("--only",
+                               help="comma-separated bench names")
+    bench_compare.set_defaults(func=cmd_bench_compare)
     return parser
 
 

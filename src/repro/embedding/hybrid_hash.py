@@ -83,6 +83,11 @@ class HybridHash:
         self.flush_iters = flush_iters
         self.counter = FrequencyCounter()
         self.stats = CacheStats()
+        #: per post-warm-up iteration hit ratio, the cache-health
+        #: monitor's raw signal (entry k is iteration warmup_iters + k).
+        self.hit_history: list = []
+        #: iteration counts at which the hot set was flushed.
+        self.flush_history: list = []
         self._hot_ids: set = set()
         self._iteration = 0
         self._pin_all = False
@@ -121,11 +126,13 @@ class HybridHash:
 
         # L14-21: split between hot hits and cold misses, keep counting.
         self.counter.observe(ids)
+        hits = 0
         for raw in ids:
             if int(raw) in self._hot_ids or self._pin_all:
-                self.stats.hot_hits += 1
-            else:
-                self.stats.cold_misses += 1
+                hits += 1
+        self.stats.hot_hits += hits
+        self.stats.cold_misses += int(ids.size) - hits
+        self.hit_history.append(hits / ids.size if ids.size else 0.0)
         result = self.cold.lookup(ids)
 
         self._iteration += 1
@@ -168,3 +175,4 @@ class HybridHash:
             self._pin_all = False
         self._hot_ids = set(self.counter.top_k(self.hot_capacity_rows))
         self.stats.flushes += 1
+        self.flush_history.append(self._iteration)

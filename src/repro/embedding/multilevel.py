@@ -101,6 +101,11 @@ class MultiLevelCache:
         self.flush_iters = flush_iters
         self.counter = FrequencyCounter()
         self.stats = {tier.name: TierStats() for tier in tiers}
+        #: per post-warm-up iteration fast-tier hit ratio (cache-health
+        #: monitor signal; entry k is iteration warmup_iters + k).
+        self.hit_history: list = []
+        #: iteration counts at which placement was rebuilt.
+        self.flush_history: list = []
         self._placement: dict = {}  # id -> tier index
         self._iteration = 0
 
@@ -129,15 +134,22 @@ class MultiLevelCache:
         ids = np.asarray(ids).ravel()
         self.counter.observe(ids)
         if self._iteration >= self.warmup_iters:
-            for raw in np.unique(ids):
+            unique = np.unique(ids)
+            fast_hits = 0
+            for raw in unique:
                 index = self._placement.get(int(raw),
                                             len(self.tiers) - 1)
                 self.stats[self.tiers[index].name].hits += 1
+                if index == 0:
+                    fast_hits += 1
+            self.hit_history.append(
+                fast_hits / unique.size if unique.size else 0.0)
         result = self.table.lookup(ids)
         self._iteration += 1
         if (self._iteration >= self.warmup_iters
                 and self._iteration % self.flush_iters == 0):
             self._rebuild_placement()
+            self.flush_history.append(self._iteration)
         return result
 
     def update(self, ids: np.ndarray, deltas: np.ndarray) -> None:

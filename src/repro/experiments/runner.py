@@ -20,6 +20,7 @@ from repro.experiments import (
     fig13_ips,
     fig14_interleaving,
     fig15_scaling,
+    monitor_health,
     serving_latency,
     tab03_auc,
     tab04_ablation,
@@ -74,6 +75,10 @@ EXPERIMENTS = [
      lambda: tab10_model_scale.run_model_scale()),
     ("Serving latency-throughput",
      lambda: serving_latency.run_serving_latency()),
+    ("Run-health monitors",
+     lambda: monitor_health.run_monitor_health()),
+    ("Overlap-ratio ablation",
+     lambda: monitor_health.run_overlap_ablation()),
 ]
 
 

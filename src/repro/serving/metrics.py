@@ -14,13 +14,27 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.telemetry.timeseries import Histogram
+
 #: Same default sampling grid as the training-side utilization plots.
 DEFAULT_BUCKET_SECONDS = 0.010
 
 
+def _percentiles_ms(hist: Histogram):
+    """(p50, p95, p99) in ms from a latency histogram (ms values)."""
+    if hist.count == 0:
+        return 0.0, 0.0, 0.0
+    return (hist.quantile(0.50), hist.quantile(0.95), hist.quantile(0.99))
+
+
 @dataclass(frozen=True)
 class ServingReport:
-    """Headline metrics of one serving run."""
+    """Headline metrics of one serving run.
+
+    ``latency_hist`` carries the full latency distribution (ms) as a
+    mergeable log-bucket histogram; the ``p*_ms`` fields are its
+    quantiles, so merged reports expose true combined percentiles.
+    """
 
     served: int
     shed: int
@@ -32,6 +46,8 @@ class ServingReport:
     cache_hit_ratio: float
     makespan_s: float
     stage_seconds: dict
+    latency_hist: Histogram = field(default_factory=Histogram,
+                                    compare=False, repr=False)
 
     def as_dict(self) -> dict:
         """Plain-dict export (benchmarks, JSON)."""
@@ -51,10 +67,11 @@ class ServingReport:
     def merge(self, other: "ServingReport") -> "ServingReport":
         """Combine two runs/shards (``Stats`` protocol).
 
-        Counts, makespans and stage times add; latency percentiles
-        take the pairwise max (a conservative tail estimate — exact
-        percentiles would need the raw latencies); QPS, shed rate and
-        the hit ratio are recomputed from the combined counts.
+        Counts, makespans and stage times add; the latency histograms
+        merge bucket-exactly and the combined percentiles are read off
+        the merged histogram (reports built without raw latencies fall
+        back to the pairwise max); QPS, shed rate and the hit ratio
+        are recomputed from the combined counts.
         """
         served = self.served + other.served
         shed = self.shed + other.shed
@@ -67,17 +84,25 @@ class ServingReport:
                          + other.cache_hit_ratio * other.served) / served
         else:
             hit_ratio = 0.0
+        hist = self.latency_hist.merge(other.latency_hist)
+        if hist.count > 0:
+            p50, p95, p99 = _percentiles_ms(hist)
+        else:
+            p50 = max(self.p50_ms, other.p50_ms)
+            p95 = max(self.p95_ms, other.p95_ms)
+            p99 = max(self.p99_ms, other.p99_ms)
         return ServingReport(
             served=served,
             shed=shed,
-            p50_ms=max(self.p50_ms, other.p50_ms),
-            p95_ms=max(self.p95_ms, other.p95_ms),
-            p99_ms=max(self.p99_ms, other.p99_ms),
+            p50_ms=p50,
+            p95_ms=p95,
+            p99_ms=p99,
             qps=served / makespan if makespan > 0 else 0.0,
             shed_rate=shed / (served + shed) if served + shed else 0.0,
             cache_hit_ratio=hit_ratio,
             makespan_s=makespan,
-            stage_seconds=stages)
+            stage_seconds=stages,
+            latency_hist=hist)
 
     def row(self) -> dict:
         """One formatted table row (for ``format_table``)."""
@@ -100,6 +125,7 @@ class ServingMetrics:
         self._latencies: list = []
         self._completions: list = []
         self._shed = 0
+        self._shed_times: list = []
         self._first_arrival = None
         self._last_event = 0.0
         self._stage_seconds: dict = {}
@@ -120,35 +146,50 @@ class ServingMetrics:
         """One request dropped by admission control."""
         self.observe_arrival(arrival_s)
         self._shed += 1
+        self._shed_times.append(shed_s)
         self._last_event = max(self._last_event, shed_s)
+
+    def completed_requests(self) -> list:
+        """``(completion_s, latency_s)`` pairs, in completion order.
+
+        The raw feed of the SLO burn-rate monitor.
+        """
+        return list(zip(self._completions, self._latencies))
+
+    def shed_times(self) -> list:
+        """Times at which requests were dropped by admission control."""
+        return list(self._shed_times)
 
     def record_stage(self, stage: str, seconds: float) -> None:
         """Accumulate modeled time in a named pipeline stage."""
         self._stage_seconds[stage] = \
             self._stage_seconds.get(stage, 0.0) + seconds
 
+    def latency_histogram(self) -> Histogram:
+        """The latency distribution (in ms) as a mergeable histogram."""
+        return Histogram.from_values(
+            latency * 1e3 for latency in self._latencies)
+
     def report(self, cache_hit_ratio: float = 0.0) -> ServingReport:
         """Reduce the recorded events to a :class:`ServingReport`."""
-        latencies = np.asarray(self._latencies, dtype=np.float64)
-        served = int(latencies.size)
+        served = len(self._latencies)
         total = served + self._shed
         start = self._first_arrival or 0.0
         makespan = max(0.0, self._last_event - start)
-        if served:
-            p50, p95, p99 = np.percentile(latencies, [50.0, 95.0, 99.0])
-        else:
-            p50 = p95 = p99 = 0.0
+        hist = self.latency_histogram()
+        p50, p95, p99 = _percentiles_ms(hist)
         return ServingReport(
             served=served,
             shed=self._shed,
-            p50_ms=float(p50) * 1e3,
-            p95_ms=float(p95) * 1e3,
-            p99_ms=float(p99) * 1e3,
+            p50_ms=p50,
+            p95_ms=p95,
+            p99_ms=p99,
             qps=served / makespan if makespan > 0 else 0.0,
             shed_rate=self._shed / total if total else 0.0,
             cache_hit_ratio=cache_hit_ratio,
             makespan_s=makespan,
             stage_seconds=dict(self._stage_seconds),
+            latency_hist=hist,
         )
 
     def qps_timeline(self, bucket: float = DEFAULT_BUCKET_SECONDS):

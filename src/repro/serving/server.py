@@ -249,7 +249,7 @@ class ModelServer:
 
 def serve_trace(requests: list, server: ModelServer,
                 batcher: MicroBatcher, policy: SloPolicy,
-                tracer=None) -> ServingReport:
+                tracer=None, metrics=None) -> ServingReport:
     """Run a request trace through batcher -> SLO gate -> server.
 
     A single-server queue in modeled time: batch ``i`` starts at
@@ -262,8 +262,11 @@ def serve_trace(requests: list, server: ModelServer,
         track (batching wait on ``batcher``), every shed request an
         instant event — so serving runs export to the same
         Chrome-trace timeline as training runs.
+    :param metrics: optional :class:`ServingMetrics` to populate; pass
+        one in to keep the raw per-request events (e.g. for the SLO
+        burn-rate monitor) after the report is reduced.
     """
-    metrics = ServingMetrics()
+    metrics = metrics if metrics is not None else ServingMetrics()
     server_free = 0.0
     for index, batch in enumerate(batcher.form_batches(requests)):
         start = max(batch.close_s, server_free)
@@ -313,7 +316,7 @@ def simulate_serving(num_requests: int = 10_000, seed: int = 0,
                      node: NodeSpec = GN6E_NODE,
                      dataset: DatasetSpec | None = None,
                      variant: str = "wdl",
-                     tracer=None) -> ServingReport:
+                     tracer=None, metrics=None) -> ServingReport:
     """End-to-end serving simulation; the CLI/benchmark entry point.
 
     Builds traffic, cache hierarchy (``cache`` in :data:`CACHE_KINDS`),
@@ -341,4 +344,5 @@ def simulate_serving(num_requests: int = 10_000, seed: int = 0,
     batcher = MicroBatcher(max_batch_size=max_batch_size,
                            max_wait_s=max_wait_s)
     policy = SloPolicy(SloConfig(latency_budget_s=slo_s))
-    return serve_trace(requests, server, batcher, policy, tracer=tracer)
+    return serve_trace(requests, server, batcher, policy, tracer=tracer,
+                       metrics=metrics)

@@ -77,6 +77,64 @@ def utilization_cdf(recorder: TraceRecorder, kind: ResourceKind,
     return levels, cdf
 
 
+def merge_intervals(intervals) -> list:
+    """Coalesce (t0, t1) intervals into disjoint sorted spans."""
+    intervals = sorted(intervals)
+    if not intervals:
+        return []
+    merged = [list(intervals[0])]
+    for t0, t1 in intervals[1:]:
+        if t0 > merged[-1][1]:
+            merged.append([t0, t1])
+        else:
+            merged[-1][1] = max(merged[-1][1], t1)
+    return [(t0, t1) for t0, t1 in merged]
+
+
+def merged_busy_intervals(recorder: TraceRecorder, kinds) -> list:
+    """Disjoint (t0, t1) spans during which *any* of ``kinds`` was busy.
+
+    Kinds the recorder never saw (e.g. NVLINK on a cluster without it)
+    contribute nothing.
+    """
+    known = set(recorder.kinds())
+    intervals = []
+    for kind in kinds:
+        if kind not in known:
+            continue
+        trace = recorder.trace(kind)
+        intervals.extend((t0, t1) for t0, t1, _rate in trace.segments)
+    return merge_intervals(intervals)
+
+
+def intersect_seconds(spans_a, spans_b) -> float:
+    """Total overlap of two disjoint, sorted (t0, t1) interval lists."""
+    total = 0.0
+    i = j = 0
+    while i < len(spans_a) and j < len(spans_b):
+        lo = max(spans_a[i][0], spans_b[j][0])
+        hi = min(spans_a[i][1], spans_b[j][1])
+        if hi > lo:
+            total += hi - lo
+        if spans_a[i][1] <= spans_b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return total
+
+
+def overlap_seconds(recorder: TraceRecorder, kinds_a, kinds_b) -> float:
+    """Total time during which both resource classes were simultaneously busy.
+
+    The numerator of the comm/compute overlap ratio: with ``kinds_a``
+    the communication kinds and ``kinds_b`` the compute kinds, this is
+    the span of the run where K-Interleaving actually hid network
+    transfers behind dense compute (Eq. 3's objective).
+    """
+    return intersect_seconds(merged_busy_intervals(recorder, kinds_a),
+                             merged_busy_intervals(recorder, kinds_b))
+
+
 def busy_timeline(recorder: TraceRecorder, kinds, makespan: float,
                   bucket: float = DEFAULT_BUCKET_SECONDS):
     """Per-bucket fraction of time *any* of ``kinds`` was active.
@@ -87,20 +145,10 @@ def busy_timeline(recorder: TraceRecorder, kinds, makespan: float,
     """
     if makespan <= 0:
         return np.zeros(0), np.zeros(0)
-    intervals = []
-    for kind in kinds:
-        trace = recorder.trace(kind)
-        intervals.extend((t0, t1) for t0, t1, _rate in trace.segments)
+    merged = merged_busy_intervals(recorder, kinds)
     num_buckets = max(1, int(np.ceil(makespan / bucket)))
     busy = np.zeros(num_buckets)
-    if intervals:
-        intervals.sort()
-        merged = [list(intervals[0])]
-        for t0, t1 in intervals[1:]:
-            if t0 > merged[-1][1]:
-                merged.append([t0, t1])
-            else:
-                merged[-1][1] = max(merged[-1][1], t1)
+    if merged:
         for t0, t1 in merged:
             first = int(t0 // bucket)
             last = min(num_buckets - 1, int((t1 - 1e-15) // bucket))

@@ -24,6 +24,16 @@ from repro.telemetry.critical_path import (
     format_critical_path,
 )
 from repro.telemetry.metrics import Counter, Gauge, MetricsRegistry
+from repro.telemetry.monitor import (
+    Alert,
+    CacheHealthMonitor,
+    MonitorReport,
+    OverlapMonitor,
+    PulseDetector,
+    SloBurnRateMonitor,
+    UtilizationPhase,
+    emit_alerts,
+)
 from repro.telemetry.span import ManualClock, Span, Tracer, maybe_span
 from repro.telemetry.stats import (
     Stats,
@@ -31,20 +41,40 @@ from repro.telemetry.stats import (
     merge_all,
     merge_numeric_dicts,
 )
+from repro.telemetry.timeseries import (
+    Ewma,
+    FixedWindowAggregator,
+    Histogram,
+    RollingWindow,
+    WindowStats,
+)
 
 __all__ = [
+    "Alert",
+    "CacheHealthMonitor",
     "Counter",
     "CriticalPathReport",
+    "Ewma",
+    "FixedWindowAggregator",
     "Gauge",
+    "Histogram",
     "ManualClock",
     "MetricsRegistry",
+    "MonitorReport",
+    "OverlapMonitor",
     "PathEntry",
     "PathStep",
+    "PulseDetector",
+    "RollingWindow",
+    "SloBurnRateMonitor",
     "Span",
     "Stats",
     "Tracer",
+    "UtilizationPhase",
+    "WindowStats",
     "analyze_critical_path",
     "chrome_trace",
+    "emit_alerts",
     "format_critical_path",
     "is_stats",
     "maybe_span",

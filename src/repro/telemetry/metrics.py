@@ -58,9 +58,22 @@ class Gauge:
             "high": self.high if self.high != float("-inf") else None,
         }
 
+    @property
+    def is_set(self) -> bool:
+        """Whether :meth:`set` has ever been called."""
+        return self.low != float("inf") or self.high != float("-inf")
+
     def merge(self, other: "Gauge") -> "Gauge":
-        """Keep the other's (later) value, widen the extremes."""
-        return Gauge(name=self.name, value=other.value,
+        """Latest-wins value, widened extremes (``Stats`` protocol).
+
+        ``other`` is treated as the later shard, so its level wins —
+        unless it was never set, in which case ``self``'s level
+        survives (a fresh gauge is the merge identity).  ``low``/
+        ``high`` take the min/max across both, so the merged gauge's
+        extremes cover both runs.
+        """
+        value = other.value if other.is_set else self.value
+        return Gauge(name=self.name, value=value,
                      low=min(self.low, other.low),
                      high=max(self.high, other.high))
 

@@ -13,6 +13,7 @@ from repro.nn.metrics import auc_score, log_loss
 from repro.nn.network import WdlNetwork
 from repro.nn.optim import Adagrad
 from repro.telemetry.span import maybe_span
+from repro.telemetry.timeseries import Ewma
 
 
 @dataclass
@@ -66,12 +67,21 @@ class SyncTrainer:
     trajectory.
     """
 
-    def __init__(self, network: WdlNetwork, optimizer=None, tracer=None):
+    def __init__(self, network: WdlNetwork, optimizer=None, tracer=None,
+                 registry=None, loss_alpha: float = 0.1):
         """:param tracer: optional :class:`repro.telemetry.Tracer`;
-        each step becomes a wall-clock span on the ``train`` track."""
+        each step becomes a wall-clock span on the ``train`` track.
+        :param registry: optional
+            :class:`repro.telemetry.MetricsRegistry`; the trainer keeps
+            its ``train/steps`` counter and ``train/loss_ewma`` gauge
+            (EWMA-smoothed with ``loss_alpha``) current, so a long run
+            is monitorable mid-flight.
+        """
         self.network = network
         self.optimizer = optimizer or Adagrad(lr=0.05)
         self.tracer = tracer
+        self.registry = registry
+        self.loss_ewma = Ewma(alpha=loss_alpha)
 
     def train(self, iterator, steps: int) -> list:
         """Run ``steps`` updates; returns per-step losses."""
@@ -88,6 +98,10 @@ class SyncTrainer:
                     if span is not None:
                         span.attrs["loss"] = loss
                 losses.append(loss)
+                smoothed = self.loss_ewma.update(loss)
+                if self.registry is not None:
+                    self.registry.counter("train/steps").inc()
+                    self.registry.gauge("train/loss_ewma").set(smoothed)
         return losses
 
 

@@ -173,7 +173,31 @@ class TestStatsProtocol:
         merged = one.merge(two)
         assert merged.served == 40
         assert merged.shed == 10
-        assert merged.p95_ms == pytest.approx(2.0)  # pairwise max
+        # No raw latencies on either side: percentiles fall back to the
+        # pairwise max.
+        assert merged.p95_ms == pytest.approx(2.0)
         assert merged.shed_rate == pytest.approx(10 / 50)
         assert merged.cache_hit_ratio == pytest.approx(0.5)
         assert merged.stage_seconds["fetch"] == pytest.approx(0.04)
+
+    def test_serving_report_merge_uses_histograms(self):
+        from repro.telemetry.timeseries import Histogram
+
+        def report(latencies_ms, served):
+            hist = Histogram.from_values(latencies_ms)
+            return ServingReport(
+                served=served, shed=0, p50_ms=hist.quantile(0.5),
+                p95_ms=hist.quantile(0.95), p99_ms=hist.quantile(0.99),
+                qps=0.0, shed_rate=0.0, cache_hit_ratio=0.0,
+                makespan_s=0.1, stage_seconds={}, latency_hist=hist)
+
+        # 196 fast requests in one shard, 4 slow in the other.  The old
+        # pairwise-max estimate reported the slow shard's 100 ms as the
+        # merged p50; the histogram merge keeps the combined p50 fast
+        # while the combined p99 correctly lands in the slow tail.
+        fast = report([1.0] * 196, served=196)
+        slow = report([100.0] * 4, served=4)
+        merged = fast.merge(slow)
+        assert merged.p50_ms == pytest.approx(1.0, rel=0.03)
+        assert merged.p99_ms == pytest.approx(100.0, rel=0.03)
+        assert merged.latency_hist.count == 200

@@ -1,0 +1,301 @@
+"""Tests for repro.telemetry.monitor (pulse/overlap/cache/SLO)."""
+
+import pytest
+
+from repro.api import RunConfig, profile
+from repro.core import PicassoConfig
+from repro.embedding.hybrid_hash import HybridHash
+from repro.embedding.table import EmbeddingTable
+from repro.serving.metrics import ServingMetrics
+from repro.sim.metrics import (
+    intersect_seconds,
+    merge_intervals,
+    merged_busy_intervals,
+    overlap_seconds,
+)
+from repro.sim.resource import ResourceKind
+from repro.sim.trace import TaskRecord, TraceRecorder
+from repro.telemetry import (
+    CacheHealthMonitor,
+    ManualClock,
+    OverlapMonitor,
+    PulseDetector,
+    SloBurnRateMonitor,
+    Tracer,
+    chrome_trace,
+    emit_alerts,
+)
+
+import numpy as np
+
+
+def make_recorder(segments_by_kind, capacity=1.0):
+    """A TraceRecorder with explicit (t0, t1, rate) segments per kind."""
+    recorder = TraceRecorder(
+        {kind: capacity for kind in segments_by_kind})
+    for kind, segments in segments_by_kind.items():
+        for t0, t1, rate in segments:
+            recorder.add_interval(t0, t1, {kind: rate})
+    return recorder
+
+
+class TestIntervalHelpers:
+    def test_merge_intervals(self):
+        assert merge_intervals([(2.0, 3.0), (0.0, 1.0), (0.5, 1.5)]) == \
+            [(0.0, 1.5), (2.0, 3.0)]
+        assert merge_intervals([]) == []
+
+    def test_intersect_seconds(self):
+        a = [(0.0, 1.0), (2.0, 3.0)]
+        b = [(0.5, 2.5)]
+        assert intersect_seconds(a, b) == pytest.approx(1.0)
+        assert intersect_seconds(a, []) == 0.0
+
+    def test_merged_busy_intervals_ignores_unknown_kinds(self):
+        recorder = make_recorder(
+            {ResourceKind.GPU_SM: [(0.0, 1.0, 1.0)]})
+        spans = merged_busy_intervals(
+            recorder, {ResourceKind.GPU_SM, ResourceKind.NVLINK})
+        assert spans == [(0.0, 1.0)]
+
+    def test_overlap_seconds(self):
+        recorder = make_recorder({
+            ResourceKind.NET: [(0.0, 2.0, 1.0)],
+            ResourceKind.GPU_SM: [(1.0, 3.0, 1.0)],
+        })
+        assert overlap_seconds(recorder, {ResourceKind.NET},
+                               {ResourceKind.GPU_SM}) \
+            == pytest.approx(1.0)
+
+
+class TestPulseDetector:
+    def test_alternating_phases(self):
+        # 10 ms memory burst, 10 ms compute burst, repeated.
+        hbm = [(0.00, 0.01, 1.0), (0.02, 0.03, 1.0)]
+        sm = [(0.01, 0.02, 1.0), (0.03, 0.04, 1.0)]
+        recorder = make_recorder({ResourceKind.HBM: hbm,
+                                  ResourceKind.GPU_SM: sm})
+        detector = PulseDetector(bucket=0.01)
+        phases = detector.phases(recorder, makespan=0.04)
+        assert [phase.label for phase in phases] == [
+            "memory-bound", "compute-bound",
+            "memory-bound", "compute-bound"]
+        report = detector.analyze(recorder, makespan=0.04)
+        assert report.summary["alternations"] == 3
+        assert report.summary["idle_fraction"] == pytest.approx(0.0)
+        assert report.healthy
+
+    def test_idle_alert(self):
+        recorder = make_recorder(
+            {ResourceKind.GPU_SM: [(0.0, 0.01, 1.0)]})
+        detector = PulseDetector(bucket=0.01, max_idle_fraction=0.5)
+        report = detector.analyze(recorder, makespan=0.10)
+        assert report.summary["idle_fraction"] > 0.5
+        assert not report.healthy
+        assert report.alerts[0].severity == "warning"
+        assert report.alerts[0].monitor == "pulse"
+
+    def test_empty_run_is_one_idle_phase(self):
+        recorder = TraceRecorder({ResourceKind.GPU_SM: 1.0})
+        phases = PulseDetector().phases(recorder, makespan=0.05)
+        assert len(phases) == 1
+        assert phases[0].label == "idle"
+
+    def test_zero_makespan(self):
+        recorder = TraceRecorder({ResourceKind.GPU_SM: 1.0})
+        assert PulseDetector().phases(recorder, makespan=0.0) == []
+
+    def test_alternating_on_fig05_breakdown_workload(self):
+        # Acceptance: the fig05-style baseline workload pulses between
+        # memory-bound (embedding) and compute-bound (dense) stages.
+        result = profile(RunConfig(
+            model="W&D", dataset="Product-1", scale=0.05,
+            cluster="eflops:2", framework="TF-PS", batch_size=4_000,
+            iterations=2))
+        pulse = result.monitors["pulse"].summary
+        assert pulse["memory_phases"] >= 2
+        assert pulse["compute_phases"] >= 1
+        assert pulse["alternations"] >= 2
+
+
+class TestOverlapMonitor:
+    def test_full_overlap(self):
+        recorder = make_recorder({
+            ResourceKind.NET: [(0.0, 1.0, 1.0)],
+            ResourceKind.GPU_SM: [(0.0, 2.0, 1.0)],
+        })
+        report = OverlapMonitor().analyze(recorder, makespan=2.0)
+        assert report.summary["overlap_ratio"] == pytest.approx(1.0)
+        assert report.healthy
+
+    def test_no_comm_is_healthy_zero(self):
+        recorder = make_recorder(
+            {ResourceKind.GPU_SM: [(0.0, 1.0, 1.0)]})
+        report = OverlapMonitor().analyze(recorder, makespan=1.0)
+        assert report.summary["comm_seconds"] == 0.0
+        assert report.healthy
+
+    def test_exposed_comm_alerts(self):
+        recorder = make_recorder({
+            ResourceKind.NET: [(0.0, 1.0, 1.0)],
+            ResourceKind.GPU_SM: [(1.0, 2.0, 1.0)],
+        })
+        monitor = OverlapMonitor(min_overlap_ratio=0.5)
+        report = monitor.analyze(recorder, makespan=2.0)
+        assert report.summary["overlap_ratio"] == pytest.approx(0.0)
+        assert not report.healthy
+        assert "exposed" in report.alerts[0].message
+
+    def test_group_ratios_from_records(self):
+        recorder = make_recorder({
+            ResourceKind.NET: [(0.0, 1.0, 1.0), (2.0, 3.0, 1.0)],
+            ResourceKind.GPU_SM: [(0.0, 1.0, 1.0)],
+        })
+        records = [
+            TaskRecord(name="a", start=0.0, end=1.0,
+                       tags={"group": "g0"},
+                       segments=(("net", 0.0, 1.0),)),
+            TaskRecord(name="b", start=2.0, end=3.0,
+                       tags={"group": "g1"},
+                       segments=(("net", 2.0, 3.0),)),
+            TaskRecord(name="c", start=0.0, end=1.0, tags={},
+                       segments=(("gpu_sm", 0.0, 1.0),)),
+        ]
+        ratios = OverlapMonitor().group_ratios(recorder, records)
+        assert ratios["g0"] == pytest.approx(1.0)
+        assert ratios["g1"] == pytest.approx(0.0)
+
+    def test_interleaving_strictly_increases_overlap(self):
+        # Acceptance: K-Interleaving on reports strictly higher
+        # comm/compute overlap than off, on the same workload.
+        workload = dict(model="W&D", dataset="Product-1", scale=0.05,
+                        cluster="eflops:4", batch_size=8_000,
+                        iterations=2)
+        on = profile(RunConfig(picasso=PicassoConfig(), **workload))
+        off = profile(RunConfig(
+            picasso=PicassoConfig().without("interleaving"), **workload))
+        ratio_on = on.monitors["overlap"].summary["overlap_ratio"]
+        ratio_off = off.monitors["overlap"].summary["overlap_ratio"]
+        assert ratio_on > ratio_off
+
+
+class TestCacheHealthMonitor:
+    def _trained_cache(self, hot_rows=64, iterations=60):
+        table = EmbeddingTable(dim=4, seed=0)
+        cache = HybridHash(table, hot_bytes=hot_rows * 16,
+                           warmup_iters=10, flush_iters=10)
+        rng = np.random.default_rng(0)
+        for _ in range(iterations):
+            cache.lookup(rng.integers(0, 200, size=32))
+        return cache
+
+    def test_histories_recorded(self):
+        cache = self._trained_cache()
+        assert len(cache.hit_history) == cache.iteration - 10
+        assert cache.flush_history
+        assert all(0.0 <= ratio <= 1.0 for ratio in cache.hit_history)
+
+    def test_healthy_cache(self):
+        cache = self._trained_cache()
+        report = CacheHealthMonitor(min_hit_ratio=0.05).analyze(cache)
+        assert report.summary["ewma_hit_ratio"] > 0.05
+        assert report.summary["flushes"] == len(cache.flush_history)
+        assert report.healthy
+
+    def test_low_hit_rate_alerts(self):
+        # Tiny hot set over a uniform stream: hit ratio stays low.
+        table = EmbeddingTable(dim=4, seed=0)
+        cache = HybridHash(table, hot_bytes=1 * 16, warmup_iters=5,
+                           flush_iters=10)
+        rng = np.random.default_rng(1)
+        for _ in range(40):
+            cache.lookup(rng.integers(0, 10_000, size=64))
+        report = CacheHealthMonitor(min_hit_ratio=0.3).analyze(cache)
+        assert not report.healthy
+        assert report.alerts[0].monitor == "cache"
+
+    def test_flush_effects_need_both_sides(self):
+        cache = self._trained_cache(iterations=12)
+        monitor = CacheHealthMonitor(flush_window=100)
+        # Windows larger than the history: no measurable effects.
+        assert monitor.flush_effects(cache) == []
+
+    def test_empty_cache(self):
+        table = EmbeddingTable(dim=4, seed=0)
+        cache = HybridHash(table, hot_bytes=1024)
+        report = CacheHealthMonitor().analyze(cache)
+        assert report.healthy
+        assert report.summary["observed_iterations"] == 0
+
+
+class TestSloBurnRateMonitor:
+    def _metrics(self, latencies_and_times, shed=()):
+        metrics = ServingMetrics()
+        for completion, latency in latencies_and_times:
+            metrics.record_served(completion - latency, completion)
+        for when in shed:
+            metrics.record_shed(when - 0.001, when)
+        return metrics
+
+    def test_no_violations(self):
+        metrics = self._metrics([(0.01 * i, 0.001) for i in range(1, 20)])
+        report = SloBurnRateMonitor(slo_ms=10.0).analyze(metrics)
+        assert report.summary["violations"] == 0
+        assert report.summary["overall_burn_rate"] == 0.0
+        assert report.healthy
+
+    def test_burn_rate_alerts(self):
+        # All requests in one window blow the SLO.
+        metrics = self._metrics([(0.01, 0.05), (0.02, 0.06)])
+        monitor = SloBurnRateMonitor(slo_ms=10.0, budget=0.01,
+                                     window_s=0.05)
+        report = monitor.analyze(metrics)
+        assert not report.healthy
+        assert report.summary["violations"] == 2
+        assert report.summary["worst_burn_rate"] == pytest.approx(100.0)
+        assert report.alerts[0].severity == "critical"
+
+    def test_shed_counts_as_violation(self):
+        metrics = self._metrics([(0.01, 0.001)], shed=[0.02])
+        report = SloBurnRateMonitor(slo_ms=10.0).analyze(metrics)
+        assert report.summary["violations"] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SloBurnRateMonitor(slo_ms=0.0)
+        with pytest.raises(ValueError):
+            SloBurnRateMonitor(slo_ms=1.0, budget=1.5)
+        with pytest.raises(ValueError):
+            SloBurnRateMonitor(slo_ms=1.0, window_s=0.0)
+
+
+class TestEmitAlerts:
+    def test_alerts_become_trace_instants(self):
+        recorder = make_recorder({
+            ResourceKind.NET: [(0.0, 1.0, 1.0)],
+            ResourceKind.GPU_SM: [(1.0, 2.0, 1.0)],
+        })
+        report = OverlapMonitor(min_overlap_ratio=0.9).analyze(
+            recorder, makespan=2.0)
+        tracer = Tracer(clock=ManualClock())
+        emitted = emit_alerts(tracer, [report])
+        assert emitted == 1
+        when, name, track, attrs = tracer.instants[0]
+        assert name == "overlap:warning"
+        assert track == "alerts"
+        assert "message" in attrs
+        payload = chrome_trace(tracer=tracer, makespan=2.0)
+        instant_events = [event for event in payload["traceEvents"]
+                          if event.get("ph") == "i"]
+        assert any(event["name"] == "overlap:warning"
+                   for event in instant_events)
+
+    def test_profile_embeds_monitors(self):
+        result = profile(RunConfig(
+            model="W&D", dataset="Product-1", scale=0.05,
+            cluster="eflops:2", batch_size=4_000, iterations=1))
+        assert set(result.monitors) == {"pulse", "overlap"}
+        for report in result.monitors.values():
+            payload = report.as_dict()
+            assert payload["monitor"] == report.monitor
+            assert isinstance(payload["summary"], dict)

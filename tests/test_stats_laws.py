@@ -1,0 +1,165 @@
+"""Merge-law tests for the Stats protocol.
+
+``merge`` is the reduction used when shards/windows of one run are
+combined, so it must behave like a monoid: associative, with the
+"empty" stats object as identity.  These laws are what make
+hierarchical reduction (merge per node, then across nodes) agree with
+a flat reduction — checked here for the stats types that telemetry
+actually reduces.
+"""
+
+import pytest
+
+from repro.serving.metrics import ServingReport
+from repro.sim.engine import SimSummary
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.metrics import Gauge
+from repro.telemetry.timeseries import Histogram
+
+
+def assert_stats_close(a, b):
+    """Recursive approx-equality of two ``as_dict`` payloads."""
+    assert type(a) is type(b) or (
+        isinstance(a, (int, float)) and isinstance(b, (int, float)))
+    if isinstance(a, dict):
+        assert set(a) == set(b)
+        for key in a:
+            assert_stats_close(a[key], b[key])
+    elif isinstance(a, (list, tuple)):
+        assert len(a) == len(b)
+        for left, right in zip(a, b):
+            assert_stats_close(left, right)
+    elif isinstance(a, (int, float)) and not isinstance(a, bool):
+        assert a == pytest.approx(b)
+    else:
+        assert a == b
+
+
+def check_merge_laws(items, empty):
+    """Associativity + two-sided identity, compared via ``as_dict``."""
+    a, b, c = items
+    left = a.merge(b).merge(c)
+    right = a.merge(b.merge(c))
+    assert_stats_close(left.as_dict(), right.as_dict())
+    assert_stats_close(a.merge(empty).as_dict(), a.as_dict())
+    assert_stats_close(empty.merge(a).as_dict(), a.as_dict())
+
+
+class TestSimSummaryLaws:
+    def test_laws(self):
+        items = [
+            SimSummary(makespan=1.0, task_count=2, event_count=3,
+                       busy_seconds={"gpu_sm": 0.5}),
+            SimSummary(makespan=2.5, task_count=4, event_count=7,
+                       busy_seconds={"gpu_sm": 1.0, "net": 0.25}),
+            SimSummary(makespan=0.5, task_count=1, event_count=1,
+                       busy_seconds={"net": 0.1}),
+        ]
+        empty = SimSummary(makespan=0.0, task_count=0, event_count=0)
+        check_merge_laws(items, empty)
+
+
+class TestHistogramLaws:
+    def test_laws(self):
+        items = [
+            Histogram.from_values([1.0, 2.0, 3.0]),
+            Histogram.from_values([0.5, 50.0]),
+            Histogram.from_values([100.0]),
+        ]
+        check_merge_laws(items, Histogram())
+
+    def test_identity_preserves_quantiles(self):
+        hist = Histogram.from_values([1.0, 5.0, 9.0])
+        merged = hist.merge(Histogram())
+        for q in (0.1, 0.5, 0.99):
+            assert merged.quantile(q) == hist.quantile(q)
+
+
+class TestMetricsRegistryLaws:
+    def _registry(self, steps, loss):
+        registry = MetricsRegistry()
+        registry.counter("steps").inc(steps)
+        registry.gauge("loss").set(loss)
+        return registry
+
+    def test_laws(self):
+        items = [self._registry(10, 0.5), self._registry(20, 0.4),
+                 self._registry(5, 0.45)]
+        check_merge_laws(items, MetricsRegistry())
+
+    def test_disjoint_names_union(self):
+        left = MetricsRegistry()
+        left.counter("a").inc(1)
+        right = MetricsRegistry()
+        right.counter("b").inc(2)
+        merged = left.merge(right)
+        assert merged.as_dict()["counters"] == {"a": 1.0, "b": 2.0}
+
+
+class TestServingReportLaws:
+    def _report(self, latencies_ms, makespan_s, hit_ratio):
+        hist = Histogram.from_values(latencies_ms)
+        served = len(latencies_ms)
+        return ServingReport(
+            served=served, shed=0,
+            p50_ms=hist.quantile(0.5), p95_ms=hist.quantile(0.95),
+            p99_ms=hist.quantile(0.99),
+            qps=served / makespan_s, shed_rate=0.0,
+            cache_hit_ratio=hit_ratio, makespan_s=makespan_s,
+            stage_seconds={"fetch": makespan_s / 2},
+            latency_hist=hist)
+
+    def test_laws(self):
+        items = [
+            self._report([1.0, 2.0, 3.0], makespan_s=0.1, hit_ratio=0.8),
+            self._report([0.5, 40.0], makespan_s=0.2, hit_ratio=0.5),
+            self._report([10.0], makespan_s=0.05, hit_ratio=0.0),
+        ]
+        empty = ServingReport(served=0, shed=0, p50_ms=0.0, p95_ms=0.0,
+                              p99_ms=0.0, qps=0.0, shed_rate=0.0,
+                              cache_hit_ratio=0.0, makespan_s=0.0,
+                              stage_seconds={})
+        check_merge_laws(items, empty)
+
+    def test_merged_percentiles_match_flat_distribution(self):
+        # The law the old pairwise-max merge violated: percentiles of a
+        # merged report equal percentiles of the pooled latencies.
+        shards = [self._report([1.0] * 90, 0.1, 0.5),
+                  self._report([20.0] * 10, 0.1, 0.5)]
+        merged = shards[0].merge(shards[1])
+        pooled = Histogram.from_values([1.0] * 90 + [20.0] * 10)
+        assert merged.p50_ms == pytest.approx(pooled.quantile(0.5))
+        assert merged.p99_ms == pytest.approx(pooled.quantile(0.99))
+
+
+class TestGaugeMerge:
+    def test_widened_extremes_latest_wins(self):
+        earlier = Gauge("depth")
+        for value in (5.0, 1.0):
+            earlier.set(value)
+        later = Gauge("depth")
+        for value in (9.0, 3.0):
+            later.set(value)
+        merged = earlier.merge(later)
+        assert merged.value == 3.0  # other is the later shard
+        assert merged.low == 1.0
+        assert merged.high == 9.0
+
+    def test_unset_other_is_identity(self):
+        gauge = Gauge("depth")
+        gauge.set(4.0)
+        merged = gauge.merge(Gauge("depth"))
+        assert merged.value == 4.0
+        assert merged.low == 4.0 and merged.high == 4.0
+
+    def test_unset_self_takes_other(self):
+        other = Gauge("depth")
+        other.set(7.0)
+        merged = Gauge("depth").merge(other)
+        assert merged.value == 7.0
+
+    def test_is_set(self):
+        gauge = Gauge("depth")
+        assert not gauge.is_set
+        gauge.set(0.0)
+        assert gauge.is_set
