@@ -1,35 +1,46 @@
-"""The public run facade: one config in, one report out.
+"""The public run/serve facade: one config in, one report out.
 
-Every entry point that simulates a training workload — the CLI, the
-experiment harnesses, the benchmark suite — used to carry its own
-model-building / cluster-parsing / framework-dispatch helpers.  This
-module is the single replacement:
+Every entry point that simulates a workload — the CLI, the experiment
+harnesses, the benchmark suite — used to carry its own model-building
+/ cluster-parsing / framework-dispatch helpers.  This module is the
+single replacement:
 
-* :class:`RunConfig` names a workload declaratively (model, dataset,
-  cluster spec, framework, batch geometry);
-* :func:`run` resolves it and returns the usual
-  :class:`~repro.core.executor.RunReport`;
-* :func:`profile` does the same with telemetry on, returning the
-  report plus a ready :class:`~repro.telemetry.CriticalPathReport`
-  and Chrome-trace payload.
+* :class:`RunConfig` names a training workload declaratively (model,
+  dataset, cluster spec, framework, batch geometry, optional
+  :class:`~repro.faults.plan.FaultPlan`);
+* :func:`run` resolves it through the framework registry and returns
+  the usual :class:`~repro.core.executor.RunReport`;
+* :class:`ServeConfig` / :func:`serve` are the serving-side mirror,
+  wrapping :func:`~repro.serving.server.simulate_serving`;
+* :func:`profile` runs with telemetry on, returning the report plus a
+  ready :class:`~repro.telemetry.CriticalPathReport` and Chrome-trace
+  payload.
 
-Cluster specs are strings like ``eflops:16`` / ``gn6e:1`` (or an
-already-built :class:`~repro.hardware.topology.ClusterSpec`), matching
-the paper's two testbeds.
+Framework dispatch is an open registry: :func:`register_framework`
+binds a name to a runner callable, and ``api.FRAMEWORKS`` reflects
+whatever is currently registered (the paper's six frameworks ship
+built in).  Cluster specs are strings like ``eflops:16`` / ``gn6e:1``
+(or an already-built :class:`~repro.hardware.topology.ClusterSpec`),
+matching the paper's two testbeds.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields as dataclass_fields, \
+    replace
 
 from repro.baselines import framework_by_name
 from repro.core import PicassoConfig, PicassoExecutor
 from repro.core.executor import RunReport
 from repro.data import ALL_DATASETS
+from repro.faults.monitor import plan_report
+from repro.faults.plan import FaultPlan
 from repro.hardware import eflops_cluster, gn6e_cluster
 from repro.hardware.topology import ClusterSpec
 from repro.models import MODEL_BUILDERS
 from repro.models.base import ModelSpec
+from repro.serving.metrics import ServingReport
+from repro.serving.server import CACHE_KINDS, simulate_serving
 from repro.telemetry import (
     CriticalPathReport,
     OverlapMonitor,
@@ -41,9 +52,50 @@ from repro.telemetry import (
 )
 from repro.telemetry.span import ManualClock
 
-#: Framework names :func:`run` dispatches on.
-FRAMEWORKS = ("PICASSO", "PICASSO(Base)", "TF-PS", "PyTorch", "Horovod",
-              "XDL")
+#: name -> runner ``(config, model, cluster) -> RunReport``.
+_FRAMEWORK_REGISTRY: dict = {}
+
+
+def register_framework(name: str, runner, overwrite: bool = False) -> None:
+    """Bind a framework name to a runner :func:`run` dispatches to.
+
+    :param runner: callable ``(config, model, cluster) -> RunReport``
+        receiving the full :class:`RunConfig`, the built
+        :class:`~repro.models.base.ModelSpec` and the resolved
+        :class:`ClusterSpec`.
+    :param overwrite: allow rebinding an existing name (plug-in
+        frameworks shadowing a built-in must opt in explicitly).
+    """
+    if not name:
+        raise ValueError("framework name must be non-empty")
+    if not callable(runner):
+        raise TypeError(f"runner for {name!r} is not callable")
+    if name in _FRAMEWORK_REGISTRY and not overwrite:
+        raise ValueError(f"framework {name!r} already registered; "
+                         "pass overwrite=True to replace it")
+    _FRAMEWORK_REGISTRY[name] = runner
+
+
+def frameworks() -> tuple:
+    """Currently registered framework names, in registration order."""
+    return tuple(_FRAMEWORK_REGISTRY)
+
+
+def framework_runner(name: str):
+    """The registered runner for ``name`` (ValueError with choices)."""
+    try:
+        return _FRAMEWORK_REGISTRY[name]
+    except KeyError:
+        raise ValueError(f"unknown framework {name!r}; "
+                         f"expected one of {frameworks()}") from None
+
+
+def __getattr__(name: str):
+    # ``api.FRAMEWORKS`` predates the registry; keep it as a dynamic
+    # view so plug-in registrations show up in old call sites too.
+    if name == "FRAMEWORKS":
+        return frameworks()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def parse_cluster(spec) -> ClusterSpec:
@@ -73,6 +125,9 @@ class RunConfig:
         everything off).
     :param record_tasks: collect per-task telemetry
         (:class:`~repro.sim.trace.TaskRecord`) during the run.
+    :param fault_plan: optional :class:`~repro.faults.plan.FaultPlan`
+        injected into the simulation (crashes kill in-flight work,
+        stragglers/link faults scale capacity).
     """
 
     model: str = "W&D"
@@ -84,6 +139,7 @@ class RunConfig:
     iterations: int = 3
     picasso: PicassoConfig | None = None
     record_tasks: bool = False
+    fault_plan: FaultPlan | None = None
 
     def resolved_cluster(self) -> ClusterSpec:
         """The cluster this config runs on."""
@@ -111,7 +167,8 @@ class RunConfig:
         return replace(self, **changes)
 
     def as_dict(self) -> dict:
-        """Plain-dict snapshot (trace metadata, logs)."""
+        """Plain-dict snapshot (trace metadata, logs); round-trips
+        through :meth:`from_dict`."""
         cluster = self.resolved_cluster()
         return {
             "model": self.model,
@@ -122,35 +179,169 @@ class RunConfig:
             "batch_size": self.batch_size,
             "iterations": self.iterations,
             "record_tasks": self.record_tasks,
+            "fault_plan": (self.fault_plan.as_dict()
+                           if self.fault_plan is not None else None),
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunConfig":
+        """Rebuild a config from :meth:`as_dict` output."""
+        known = {spec.name for spec in dataclass_fields(cls)}
+        settings = {key: value for key, value in payload.items()
+                    if key in known}
+        plan = settings.get("fault_plan")
+        if isinstance(plan, dict):
+            settings["fault_plan"] = FaultPlan.from_dict(plan)
+        return cls(**settings)
+
+
+def _run_picasso(config: RunConfig, model: ModelSpec,
+                 cluster: ClusterSpec) -> RunReport:
+    executor = PicassoExecutor(model, cluster, config.picasso)
+    return executor.run(config.batch_size,
+                        iterations=config.iterations,
+                        record_tasks=config.record_tasks,
+                        fault_plan=config.fault_plan)
+
+
+def _run_picasso_base(config: RunConfig, model: ModelSpec,
+                      cluster: ClusterSpec) -> RunReport:
+    executor = PicassoExecutor(model, cluster, PicassoConfig.base())
+    return executor.run(config.batch_size,
+                        iterations=config.iterations,
+                        record_tasks=config.record_tasks,
+                        fault_plan=config.fault_plan)
+
+
+def _baseline_runner(name: str):
+    def runner(config: RunConfig, model: ModelSpec,
+               cluster: ClusterSpec) -> RunReport:
+        return framework_by_name(name).run(
+            model, cluster, config.batch_size,
+            iterations=config.iterations,
+            record_tasks=config.record_tasks,
+            fault_plan=config.fault_plan)
+    return runner
+
+
+register_framework("PICASSO", _run_picasso)
+register_framework("PICASSO(Base)", _run_picasso_base)
+for _baseline in ("TF-PS", "PyTorch", "Horovod", "XDL"):
+    register_framework(_baseline, _baseline_runner(_baseline))
+del _baseline
 
 
 def run(config: RunConfig, model: ModelSpec | None = None) -> RunReport:
     """Execute one :class:`RunConfig`; the repo-wide simulation facade.
 
+    Dispatch goes only through the framework registry — built-ins and
+    :func:`register_framework` plug-ins are indistinguishable here.
+
     :param model: an already-built model to reuse (sweeps that vary
         only the framework or batch size skip dataset rebuilding);
         defaults to ``config.build_model()``.
     """
-    if config.framework not in FRAMEWORKS:
-        raise ValueError(f"unknown framework {config.framework!r}; "
-                         f"expected one of {FRAMEWORKS}")
+    runner = framework_runner(config.framework)
     model = model if model is not None else config.build_model()
-    cluster = config.resolved_cluster()
-    if config.framework == "PICASSO":
-        executor = PicassoExecutor(model, cluster, config.picasso)
-        return executor.run(config.batch_size,
-                            iterations=config.iterations,
-                            record_tasks=config.record_tasks)
-    if config.framework == "PICASSO(Base)":
-        executor = PicassoExecutor(model, cluster, PicassoConfig.base())
-        return executor.run(config.batch_size,
-                            iterations=config.iterations,
-                            record_tasks=config.record_tasks)
-    return framework_by_name(config.framework).run(
-        model, cluster, config.batch_size,
-        iterations=config.iterations,
-        record_tasks=config.record_tasks)
+    return runner(config, model, config.resolved_cluster())
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """A declarative serving request — :class:`RunConfig`'s mirror.
+
+    Field for field the knobs of
+    :func:`~repro.serving.server.simulate_serving`, plus the
+    fault-tolerance pair (``replicas`` + ``fault_plan``): crash events
+    in the plan take replicas down over their windows, and
+    :func:`serve` responds with degraded-mode admission tightening
+    instead of an outage.
+    """
+
+    requests: int = 10_000
+    seed: int = 0
+    rate_qps: float = 20_000.0
+    cache: str = "hbm-dram"
+    hot_rows: int = 4_000
+    warm_rows: int = 60_000
+    max_batch_size: int = 64
+    max_wait_s: float = 0.002
+    slo_s: float = 0.02
+    micro_batch_rows: int = 16
+    variant: str = "wdl"
+    replicas: int = 1
+    fault_plan: FaultPlan | None = None
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ValueError("requests must be >= 1")
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if self.cache not in CACHE_KINDS:
+            raise ValueError(f"unknown cache {self.cache!r}; "
+                             f"expected one of {CACHE_KINDS}")
+
+    def with_overrides(self, **changes) -> "ServeConfig":
+        """A copy with some fields replaced (sweeps, ablations)."""
+        return replace(self, **changes)
+
+    def as_dict(self) -> dict:
+        """Plain-dict snapshot; round-trips through :meth:`from_dict`."""
+        return {
+            "requests": self.requests,
+            "seed": self.seed,
+            "rate_qps": self.rate_qps,
+            "cache": self.cache,
+            "hot_rows": self.hot_rows,
+            "warm_rows": self.warm_rows,
+            "max_batch_size": self.max_batch_size,
+            "max_wait_s": self.max_wait_s,
+            "slo_s": self.slo_s,
+            "micro_batch_rows": self.micro_batch_rows,
+            "variant": self.variant,
+            "replicas": self.replicas,
+            "fault_plan": (self.fault_plan.as_dict()
+                           if self.fault_plan is not None else None),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ServeConfig":
+        """Rebuild a config from :meth:`as_dict` output."""
+        known = {spec.name for spec in dataclass_fields(cls)}
+        settings = {key: value for key, value in payload.items()
+                    if key in known}
+        plan = settings.get("fault_plan")
+        if isinstance(plan, dict):
+            settings["fault_plan"] = FaultPlan.from_dict(plan)
+        return cls(**settings)
+
+
+def serve(config: ServeConfig, tracer=None,
+          metrics=None) -> ServingReport:
+    """Execute one :class:`ServeConfig`; the serving facade.
+
+    Exactly :func:`run`'s shape on the inference side: every entry
+    point (CLI ``serve``, experiments, benches) states *what* to serve
+    as data and this function owns the wiring.  With a fault plan the
+    returned report carries a ``degraded`` summary from the
+    :class:`~repro.faults.degraded.DegradedModeController`.
+    """
+    return simulate_serving(
+        num_requests=config.requests,
+        seed=config.seed,
+        rate_qps=config.rate_qps,
+        cache=config.cache,
+        hot_rows=config.hot_rows,
+        warm_rows=config.warm_rows,
+        max_batch_size=config.max_batch_size,
+        max_wait_s=config.max_wait_s,
+        slo_s=config.slo_s,
+        micro_batch_rows=config.micro_batch_rows,
+        variant=config.variant,
+        replicas=config.replicas,
+        fault_plan=config.fault_plan,
+        tracer=tracer,
+        metrics=metrics)
 
 
 @dataclass(frozen=True)
@@ -188,6 +379,10 @@ def profile(config: RunConfig, model: ModelSpec | None = None,
     overlap = OverlapMonitor()
     monitors[overlap.name] = overlap.analyze(
         result.recorder, result.makespan, records=result.task_records)
+    if config.fault_plan is not None and len(config.fault_plan):
+        # The injected schedule lands on the alert track so the trace
+        # shows *why* utilization dipped where it did.
+        monitors["faults"] = plan_report(config.fault_plan)
     tracer = Tracer(clock=ManualClock())
     emit_alerts(tracer, monitors.values())
     trace = chrome_trace(records=result.task_records,

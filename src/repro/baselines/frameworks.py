@@ -121,9 +121,11 @@ class Framework:
         )
 
     def run(self, model: ModelSpec, cluster: ClusterSpec, batch_size: int,
-            iterations: int = 3, record_tasks: bool = False) -> RunReport:
+            iterations: int = 3, record_tasks: bool = False,
+            fault_plan=None) -> RunReport:
         """Simulate a training run under this framework."""
         plan = self.plan(model, cluster, batch_size)
         return simulate_plan(plan, iterations=iterations,
                              name=f"{self.name}/{model.name}",
-                             record_tasks=record_tasks)
+                             record_tasks=record_tasks,
+                             fault_plan=fault_plan)

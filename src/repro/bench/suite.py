@@ -11,7 +11,11 @@ Each benchmark is one deterministic, CI-sized workload reduced to a
 * ``serving`` — the end-to-end serving simulation: latency
   percentiles, QPS, shed rate, SLO burn rate;
 * ``cache`` — HybridHash over a bounded-Zipf stream: hit ratio, EWMA
-  level, flush effectiveness (Algorithm 1's health).
+  level, flush effectiveness (Algorithm 1's health);
+* ``faults`` — the fault-recovery sweep plus degraded-mode serving:
+  recovery overhead (goodput ratio vs crash-free, MTTR, replay
+  divergence) and replica-loss admission behaviour, gated so a
+  regression in the recovery path fails CI.
 
 Workloads are deliberately small (seconds each): the gate's job is
 catching regressions on every PR, not measuring peak numbers.
@@ -21,12 +25,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.api import RunConfig, profile
+from repro.api import RunConfig, ServeConfig, profile, serve
 from repro.bench.snapshot import BenchSnapshot
 from repro.core import PicassoConfig
 from repro.data import BoundedZipf
 from repro.embedding.hybrid_hash import HybridHash
 from repro.embedding.table import EmbeddingTable
+from repro.experiments.fault_recovery import run_fault_recovery
+from repro.faults import FaultPlan
 from repro.serving.metrics import ServingMetrics
 from repro.serving.server import simulate_serving
 from repro.telemetry import CacheHealthMonitor, SloBurnRateMonitor
@@ -187,12 +193,92 @@ def bench_cache() -> BenchSnapshot:
         tolerances=tolerances)
 
 
+def bench_faults() -> BenchSnapshot:
+    """Recovery overhead + degraded-mode serving, gated.
+
+    The training half reruns the ``fault_recovery`` sweep at bench
+    scale and gates the recovery economics: the best checkpoint
+    interval must keep goodput near the crash-free run, MTTR must stay
+    put, and replayed steps must never diverge.  The serving half
+    pushes a trace through replica crashes and gates the degraded-mode
+    accounting (no outage: everything is either served or shed by
+    admission control).
+    """
+    config = dict(steps=30, step_time_s=1.0, ckpt_write_s=0.02,
+                  detect_s=0.05, restore_s=0.05, seed=0,
+                  serve_requests=1_500, serve_rate_qps=20_000.0,
+                  serve_replicas=3, serve_crash_rate=40.0,
+                  serve_crash_downtime_s=0.02)
+    rows = run_fault_recovery(
+        steps=config["steps"], step_time_s=config["step_time_s"],
+        ckpt_write_s=config["ckpt_write_s"],
+        detect_s=config["detect_s"], restore_s=config["restore_s"],
+        seed=config["seed"])
+    cells = {(row["crash_rate"], row["ckpt_interval"]): row
+             for row in rows}
+    crash_free = float(cells[("0", 0)]["goodput"])
+    crashed = [row for row in rows
+               if row["crash_rate"] == "0.1" and row["ckpt_interval"]]
+    best = max(crashed, key=lambda row: float(row["goodput"]))
+    diverged = sum(1 for row in rows if row["trajectory"] != "exact")
+
+    trace_s = config["serve_requests"] / config["serve_rate_qps"]
+    plan = FaultPlan.periodic(
+        crash_rate=config["serve_crash_rate"], duration_s=trace_s,
+        crash_downtime_s=config["serve_crash_downtime_s"],
+        workers=config["serve_replicas"])
+    report = serve(ServeConfig(
+        requests=config["serve_requests"],
+        rate_qps=config["serve_rate_qps"],
+        replicas=config["serve_replicas"], fault_plan=plan))
+    degraded = report.degraded or {}
+    metrics = {
+        "crash_free_goodput": crash_free,
+        "recovery_off_goodput": float(cells[("0.1", 0)]["goodput"]),
+        "best_goodput": float(best["goodput"]),
+        "best_recovery_ratio": float(best["goodput"]) / crash_free,
+        "best_mttr_s": float(best["mttr_s"]),
+        "best_ckpt_interval": best["ckpt_interval"],
+        "replay_divergence": diverged,
+        "crashes": int(cells[("0.1", 0)]["crashes"]),
+        "degraded_served": report.served,
+        "degraded_shed": report.shed,
+        "degraded_seconds": degraded.get("degraded_seconds", 0.0),
+        "degraded_batches": degraded.get("degraded_batches", 0),
+        "tightened_shed": degraded.get("tightened_shed", 0),
+        "min_live_replicas": degraded.get("min_live_replicas", 0),
+    }
+    tolerances = {
+        "replay_divergence": 0.0,
+        "crashes": 0.0,
+        "best_ckpt_interval": 0.0,
+        "degraded_served": 0.0,
+        "degraded_shed": 0.0,
+        "degraded_batches": 0.0,
+        "tightened_shed": 0.0,
+        "min_live_replicas": 0.0,
+        "crash_free_goodput": 0.01,
+        "recovery_off_goodput": 0.01,
+        "best_goodput": 0.01,
+        "best_recovery_ratio": 0.01,
+        "best_mttr_s": 0.02,
+        "degraded_seconds": 0.01,
+    }
+    return BenchSnapshot(
+        name="faults",
+        config=config,
+        metrics=metrics,
+        monitors={"degraded": degraded},
+        tolerances=tolerances)
+
+
 #: Name -> builder for every benchmark ``repro bench run`` knows.
 BENCHES = {
     "training": bench_training,
     "interleaving": bench_interleaving,
     "serving": bench_serving,
     "cache": bench_cache,
+    "faults": bench_faults,
 }
 
 

@@ -27,7 +27,8 @@ import os
 import sys
 
 from repro import api
-from repro.api import RunConfig
+from repro.api import RunConfig, ServeConfig
+from repro.faults import FaultPlan
 from repro.bench import (
     BENCHES,
     compare_snapshots,
@@ -41,7 +42,7 @@ from repro.data import ALL_DATASETS
 from repro.experiments import runner as experiment_runner
 from repro.experiments.common import format_table, mini_criteo
 from repro.models import MODEL_BUILDERS
-from repro.serving import CACHE_KINDS, simulate_serving
+from repro.serving import CACHE_KINDS
 from repro.sim.export import ascii_gantt
 from repro.telemetry import (
     format_critical_path,
@@ -97,7 +98,7 @@ def _report_rows(report) -> list:
 def cmd_list(_args) -> int:
     print("models:     " + ", ".join(sorted(MODEL_BUILDERS)))
     print("datasets:   " + ", ".join(ALL_DATASETS))
-    print("frameworks: " + ", ".join(api.FRAMEWORKS))
+    print("frameworks: " + ", ".join(api.frameworks()))
     print("experiments:")
     for title, _fn in experiment_runner.EXPERIMENTS:
         print(f"  - {title}")
@@ -158,21 +159,49 @@ def cmd_experiment(args) -> int:
     raise SystemExit(f"no experiment matches {args.name!r}; see `list`")
 
 
-def cmd_serve(args) -> int:
-    report = simulate_serving(
-        num_requests=args.requests, seed=args.seed, rate_qps=args.rate,
+def _serve_config(args) -> ServeConfig:
+    """A :class:`ServeConfig` from the ``serve`` flags."""
+    fault_plan = None
+    if args.crash_rate > 0:
+        # Replica crashes over the (expected) span of the trace.
+        fault_plan = FaultPlan.generate(
+            seed=args.fault_seed,
+            duration_s=args.requests / args.rate,
+            crash_rate=args.crash_rate,
+            workers=args.replicas)
+    return ServeConfig(
+        requests=args.requests, seed=args.seed, rate_qps=args.rate,
         cache=args.cache, hot_rows=args.hot_rows,
         warm_rows=args.warm_rows, max_batch_size=args.batch_max,
         max_wait_s=args.max_wait_ms / 1e3, slo_s=args.slo_ms / 1e3,
-        micro_batch_rows=args.micro_rows)
-    print(f"serving {args.requests} requests @ {args.rate:,.0f} qps "
-          f"(cache={args.cache}, slo={args.slo_ms}ms, seed={args.seed})")
+        micro_batch_rows=args.micro_rows, replicas=args.replicas,
+        fault_plan=fault_plan)
+
+
+def cmd_serve(args) -> int:
+    try:
+        config = _serve_config(args)
+    except ValueError as error:
+        raise SystemExit(str(error))
+    report = api.serve(config)
+    print(f"serving {config.requests} requests @ "
+          f"{config.rate_qps:,.0f} qps "
+          f"(cache={config.cache}, slo={args.slo_ms}ms, "
+          f"seed={config.seed})")
     print(format_table([report.row()], list(report.row())))
     stages = report.stage_seconds
     total = sum(stages.values()) or 1.0
     print("stage breakdown: " + "  ".join(
         f"{name}={seconds / total:.0%}"
         for name, seconds in stages.items()))
+    if report.degraded is not None:
+        degraded = report.degraded
+        print(f"degraded mode: {degraded['replica_crashes']} replica "
+              f"crash(es), {degraded['degraded_seconds']:.3f}s degraded, "
+              f"min live {degraded['min_live_replicas']}/"
+              f"{degraded['replicas']}, "
+              f"{degraded['tightened_shed']} request(s) shed by "
+              "tightened admission")
     return 0
 
 
@@ -293,7 +322,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim = sub.add_parser("simulate", help="simulate one workload")
     add_sim_args(sim)
     sim.add_argument("--framework", default="PICASSO",
-                     choices=api.FRAMEWORKS)
+                     choices=api.frameworks())
     sim.set_defaults(func=cmd_simulate)
 
     ablation = sub.add_parser("ablation", help="Tab. IV toggles")
@@ -329,12 +358,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--slo-ms", type=float, default=20.0)
     serve.add_argument("--micro-rows", type=int, default=16,
                        help="Eq. 2 activation budget in requests")
+    serve.add_argument("--replicas", type=int, default=1,
+                       help="model replicas behind the front-end")
+    serve.add_argument("--crash-rate", type=float, default=0.0,
+                       help="replica crashes per second (0 = none); "
+                            "losses degrade admission, not uptime")
+    serve.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for the generated fault plan")
     serve.set_defaults(func=cmd_serve)
 
     gantt = sub.add_parser("gantt", help="ASCII utilization timeline")
     add_sim_args(gantt)
     gantt.add_argument("--framework", default="PICASSO",
-                       choices=api.FRAMEWORKS)
+                       choices=api.frameworks())
     gantt.add_argument("--width", type=int, default=72)
     gantt.set_defaults(func=cmd_gantt)
 
@@ -343,7 +379,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace one workload: Chrome-trace JSON + critical path")
     add_sim_args(prof)
     prof.add_argument("--framework", default="PICASSO",
-                      choices=api.FRAMEWORKS)
+                      choices=api.frameworks())
     prof.add_argument("--output", default="repro_trace.json",
                       help="Chrome-trace JSON destination")
     prof.add_argument("--top", type=int, default=10,

@@ -68,7 +68,8 @@ class RunReport:
 
 def simulate_plan(plan: ExecutionPlan, iterations: int = 3,
                   name: str | None = None,
-                  record_tasks: bool = False) -> RunReport:
+                  record_tasks: bool = False,
+                  fault_plan=None) -> RunReport:
     """Build, execute and measure a plan over ``iterations`` steps.
 
     The first iteration is treated as pipeline warm-up: per-iteration
@@ -78,6 +79,12 @@ def simulate_plan(plan: ExecutionPlan, iterations: int = 3,
     ``record_tasks=True`` makes the returned report's ``result`` carry
     per-task :class:`~repro.sim.trace.TaskRecord` telemetry (for
     Chrome-trace export and critical-path analysis).
+
+    ``fault_plan`` (a :class:`~repro.faults.plan.FaultPlan`) injects
+    crashes/stragglers/link degradations into the engine run: crashes
+    kill in-flight work back to the queue, stragglers and link faults
+    scale resource capacity over their windows, so the reported
+    throughput is the *faulted* throughput.
     """
     if iterations < 1:
         raise ValueError("iterations must be >= 1")
@@ -94,8 +101,12 @@ def simulate_plan(plan: ExecutionPlan, iterations: int = 3,
     tasks = graph.to_sim_tasks(launch, floor)
     resources = build_node_resources(plan.cluster.node)
     engine = Engine(resources)
+    injector = None
+    if fault_plan is not None and len(fault_plan):
+        from repro.faults.inject import FaultInjector
+        injector = FaultInjector(fault_plan)
     result = engine.run(tasks, keep_finish_times=True,
-                        record_tasks=record_tasks)
+                        record_tasks=record_tasks, injector=injector)
 
     if iterations > 1:
         first_end = result.finish_times.get("it0/step_end", 0.0) or 0.0
@@ -162,9 +173,10 @@ class PicassoExecutor:
         return self._planner.plan(self.model, self.cluster, batch_size)
 
     def run(self, batch_size: int, iterations: int = 3,
-            record_tasks: bool = False) -> RunReport:
+            record_tasks: bool = False, fault_plan=None) -> RunReport:
         """Plan and simulate a training run; returns the full report."""
         plan = self.plan(batch_size)
         return simulate_plan(plan, iterations=iterations,
                              name=f"PICASSO/{self.model.name}",
-                             record_tasks=record_tasks)
+                             record_tasks=record_tasks,
+                             fault_plan=fault_plan)

@@ -8,9 +8,15 @@ model encodes through :mod:`repro.graph.builder`.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.hardware.specs import LinkSpec
+
+
+class CollectiveTimeout(RuntimeError):
+    """A collective exhausted its retry budget with no quorum."""
 
 
 # -- functional collectives ---------------------------------------------------
@@ -94,3 +100,120 @@ def ps_pull_time(payload_bytes: float, link: LinkSpec,
         raise ValueError("payload_bytes must be >= 0")
     rate = min(link.bandwidth, serving_rate)
     return payload_bytes / rate + link.latency
+
+
+# -- failure-aware collectives ------------------------------------------------
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/timeout/backoff semantics for failure-aware collectives.
+
+    An attempt that includes a failed participant burns ``timeout_s``
+    (the rendezvous deadline) before the failure is detected; the
+    ``n``-th retry then waits ``base_backoff_s * backoff_factor**n``
+    before rejoining — the standard exponential-backoff loop of
+    production collective runtimes.
+    """
+
+    max_retries: int = 3
+    timeout_s: float = 0.5
+    base_backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.timeout_s < 0:
+            raise ValueError("timeout_s must be >= 0")
+        if self.base_backoff_s < 0:
+            raise ValueError("base_backoff_s must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1.0")
+
+    def backoff_s(self, retry: int) -> float:
+        """Wait before the ``retry``-th retry (0-based)."""
+        if retry < 0:
+            raise ValueError("retry must be >= 0")
+        return self.base_backoff_s * self.backoff_factor ** retry
+
+
+@dataclass(frozen=True)
+class CollectiveOutcome:
+    """Result of one failure-aware collective.
+
+    :param result: the reduced array (mean over surviving workers).
+    :param attempts: rendezvous attempts made (1 = clean first try).
+    :param elapsed_s: modeled seconds spent, timeouts and backoffs
+        included, on top of the failure-free collective itself.
+    :param dropped_workers: ranks excluded after exhausting retries.
+    """
+
+    result: np.ndarray
+    attempts: int
+    elapsed_s: float
+    dropped_workers: tuple = ()
+
+
+class FaultAwareAllreduce:
+    """Allreduce that survives worker loss by retry, then exclusion.
+
+    ``failure_oracle(t)`` returns the set of worker ranks down at
+    modeled time ``t`` (build one from a
+    :class:`~repro.faults.plan.FaultPlan` with
+    :func:`failed_workers_oracle`).  Each attempt that sees a failed
+    participant costs the policy's timeout, then backs off
+    exponentially; a worker that recovers mid-backoff rejoins.  When
+    retries are exhausted, still-failed workers are dropped and the
+    mean is taken over the survivors — the collective degrades instead
+    of deadlocking.  Raises :class:`CollectiveTimeout` only when no
+    participant survives.
+    """
+
+    def __init__(self, workers: int, policy: RetryPolicy | None = None,
+                 failure_oracle=None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.policy = policy or RetryPolicy()
+        self.failure_oracle = failure_oracle or (lambda _t: frozenset())
+
+    def allreduce_mean(self, arrays: list,
+                       now_s: float = 0.0) -> CollectiveOutcome:
+        """Mean-allreduce ``arrays`` (one per rank) at time ``now_s``."""
+        if len(arrays) != self.workers:
+            raise ValueError(
+                f"expected {self.workers} arrays, got {len(arrays)}")
+        policy = self.policy
+        clock = now_s
+        elapsed = 0.0
+        attempts = 0
+        while True:
+            attempts += 1
+            failed = frozenset(self.failure_oracle(clock)) \
+                & frozenset(range(self.workers))
+            if not failed:
+                return CollectiveOutcome(
+                    result=allreduce_mean(arrays),
+                    attempts=attempts, elapsed_s=elapsed)
+            retry = attempts - 1
+            if retry >= policy.max_retries:
+                survivors = [arrays[rank] for rank in range(self.workers)
+                             if rank not in failed]
+                if not survivors:
+                    raise CollectiveTimeout(
+                        f"all {self.workers} workers failed after "
+                        f"{attempts} attempts")
+                return CollectiveOutcome(
+                    result=allreduce_mean(survivors),
+                    attempts=attempts, elapsed_s=elapsed,
+                    dropped_workers=tuple(sorted(failed)))
+            wait = policy.timeout_s + policy.backoff_s(retry)
+            clock += wait
+            elapsed += wait
+
+
+def failed_workers_oracle(plan):
+    """``t -> set of ranks down`` from a plan's crash windows."""
+    def oracle(t: float):
+        return {event.worker for event in plan.active(t, kind="crash")}
+    return oracle

@@ -53,12 +53,18 @@ class DataParallelTrainer:
     """
 
     def __init__(self, template: WdlNetwork, workers: int,
-                 optimizer: Optimizer | None = None):
+                 optimizer: Optimizer | None = None, allreduce=None):
+        """:param allreduce: reduction hook ``(arrays) -> mean array``;
+        defaults to :func:`~repro.distributed.collectives.allreduce_mean`.
+        Pass a bound
+        :class:`~repro.distributed.collectives.FaultAwareAllreduce`
+        adapter to train through injected worker failures."""
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
         self.network = template
         self.optimizer = optimizer or Adagrad(lr=0.05)
+        self._allreduce = allreduce or allreduce_mean
 
     def train_step(self, batch: Batch) -> float:
         """One synchronous step; returns the mean worker loss.
@@ -87,7 +93,7 @@ class DataParallelTrainer:
                 for table in self.network.sparse_tables()})
 
         reduced = {
-            name: allreduce_mean([grads[name] for grads in dense_grads])
+            name: self._allreduce([grads[name] for grads in dense_grads])
             for name in dense_grads[0]
         }
         self.network.zero_grad()

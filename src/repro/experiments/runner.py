@@ -11,6 +11,7 @@ import sys
 import time
 
 from repro.experiments import (
+    fault_recovery,
     fig01_gpu_util,
     fig03_distribution,
     fig05_breakdown,
@@ -75,6 +76,8 @@ EXPERIMENTS = [
      lambda: tab10_model_scale.run_model_scale()),
     ("Serving latency-throughput",
      lambda: serving_latency.run_serving_latency()),
+    ("Fault recovery goodput",
+     lambda: fault_recovery.run_fault_recovery()),
     ("Run-health monitors",
      lambda: monitor_health.run_monitor_health()),
     ("Overlap-ratio ablation",

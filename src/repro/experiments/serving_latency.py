@@ -12,7 +12,7 @@ trace the latency-throughput trade-off.
 
 from __future__ import annotations
 
-from repro.serving import simulate_serving
+from repro.api import ServeConfig, serve
 
 #: (label, cache kind) rows for the tier sweep, fastest first.
 CACHE_CONFIGS = (
@@ -29,11 +29,11 @@ BATCHER_CONFIGS = ((16, 0.5), (64, 2.0), (256, 8.0))
 def run_cache_sweep(num_requests: int = 4_000, seed: int = 0,
                     rate_qps: float = 60_000.0) -> list:
     """p50/p95/p99 across cache hierarchies on one trace."""
+    base = ServeConfig(requests=num_requests, seed=seed,
+                       rate_qps=rate_qps, max_wait_s=0.001)
     rows = []
     for label, kind in CACHE_CONFIGS:
-        report = simulate_serving(
-            num_requests=num_requests, seed=seed, rate_qps=rate_qps,
-            cache=kind, max_wait_s=0.001)
+        report = serve(base.with_overrides(cache=kind))
         rows.append({"cache": label, **report.row()})
     return rows
 
@@ -41,11 +41,12 @@ def run_cache_sweep(num_requests: int = 4_000, seed: int = 0,
 def run_batcher_sweep(num_requests: int = 4_000, seed: int = 0,
                       rate_qps: float = 60_000.0) -> list:
     """Latency-throughput trade-off across batcher settings."""
+    base = ServeConfig(requests=num_requests, seed=seed,
+                       rate_qps=rate_qps)
     rows = []
     for max_batch, wait_ms in BATCHER_CONFIGS:
-        report = simulate_serving(
-            num_requests=num_requests, seed=seed, rate_qps=rate_qps,
-            max_batch_size=max_batch, max_wait_s=wait_ms / 1e3)
+        report = serve(base.with_overrides(
+            max_batch_size=max_batch, max_wait_s=wait_ms / 1e3))
         rows.append({"batch_max": max_batch, "wait_ms": wait_ms,
                      **report.row()})
     return rows

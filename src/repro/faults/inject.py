@@ -1,0 +1,94 @@
+"""Fault injection for the discrete-event engine.
+
+A :class:`FaultInjector` translates a :class:`~repro.faults.plan.FaultPlan`
+into the two perturbations :class:`~repro.sim.engine.Engine` understands:
+
+* **capacity scaling** — during a straggler window the compute kinds
+  (GPU SMs, CPU) run at ``1/severity`` of their capacity; during a
+  link-degradation window the network keeps only ``severity`` of its
+  bandwidth; during a crash's downtime every resource is dark (scale
+  0) until the replacement worker is up;
+* **kill/requeue** — at the instant a crash strikes, every in-flight
+  task loses its current phase's progress and re-enters its resource
+  queue (the engine calls back into :meth:`record` with the body
+  count, building the injection log that telemetry and tests read).
+
+The injector is stateless between queries — ``scale`` and
+``next_boundary`` are pure functions of the plan and the clock — so
+the engine's event stepping stays exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.faults.plan import FaultPlan
+from repro.sim.resource import (
+    COMMUNICATION_KINDS,
+    COMPUTE_KINDS,
+    ResourceKind,
+)
+
+#: Kinds a straggler window slows down.
+STRAGGLER_KINDS = frozenset(COMPUTE_KINDS)
+
+#: Kinds a link-degradation window throttles.
+LINK_KINDS = frozenset({ResourceKind.NET})
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to one engine run.
+
+    :param plan: the fault schedule, in the engine's modeled clock.
+    :param straggler_kinds: resource kinds slowed by stragglers.
+    :param link_kinds: resource kinds throttled by link degradation.
+    """
+
+    def __init__(self, plan: FaultPlan,
+                 straggler_kinds=STRAGGLER_KINDS,
+                 link_kinds=LINK_KINDS):
+        self.plan = plan
+        self.straggler_kinds = frozenset(straggler_kinds)
+        self.link_kinds = frozenset(link_kinds)
+        self._boundaries = plan.boundaries()
+        #: (event, strike time, tasks killed) per applied crash.
+        self.log: list = []
+
+    def scale(self, kind: ResourceKind, t: float) -> float:
+        """Capacity multiplier for ``kind`` at modeled time ``t``."""
+        factor = 1.0
+        for event in self.plan.events:
+            if not event.active_at(t):
+                continue
+            if event.kind == "crash":
+                return 0.0  # downtime blacks out the whole worker
+            if event.kind == "straggler" and kind in self.straggler_kinds:
+                factor /= max(1.0, event.severity)
+            elif event.kind == "link_degrade" and kind in self.link_kinds:
+                factor *= event.severity
+        return factor
+
+    def next_boundary(self, t: float) -> float:
+        """Earliest fault start/end strictly after ``t`` (inf if none)."""
+        for boundary in self._boundaries:
+            if boundary > t:
+                return boundary
+        return math.inf
+
+    def crashes_between(self, t0: float, t1: float) -> tuple:
+        """Crash events striking within ``(t0, t1]``."""
+        return tuple(e for e in self.plan.between(t0, t1)
+                     if e.kind == "crash")
+
+    def record(self, event, time_s: float, killed: int) -> None:
+        """Engine callback: a crash was applied, ``killed`` tasks lost."""
+        self.log.append((event, time_s, killed))
+
+    @property
+    def crashes_applied(self) -> int:
+        """How many crash events the engine has executed so far."""
+        return len(self.log)
+
+    def tasks_killed(self) -> int:
+        """Total in-flight tasks killed across all applied crashes."""
+        return sum(killed for _event, _time, killed in self.log)

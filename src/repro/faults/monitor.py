@@ -1,0 +1,135 @@
+"""Fault-tolerance health: MTTR/goodput verdicts on the alert track.
+
+The :mod:`repro.telemetry.monitor` layer judges whether a run was
+*healthy*; this module extends that judgement to runs that were
+*attacked*.  :class:`FaultToleranceMonitor` reduces a
+:class:`~repro.faults.resilient.RecoveryReport` to a
+:class:`~repro.telemetry.monitor.MonitorReport` — every crash and
+recovery becomes an :class:`~repro.telemetry.monitor.Alert` anchored
+at its modeled time, so :func:`~repro.telemetry.monitor.emit_alerts`
+puts failures on the same Chrome-trace ``alerts`` track as idle-GPU
+and SLO-burn warnings.  :func:`plan_report` gives the same treatment
+to a bare :class:`~repro.faults.plan.FaultPlan` (used by
+``repro.api.profile`` when a run carries a plan but no recovery
+loop).
+"""
+
+from __future__ import annotations
+
+from repro.faults.plan import FaultPlan
+from repro.telemetry.monitor import Alert, MonitorReport
+
+
+class FaultToleranceMonitor:
+    """Judges a recovery run: did resilience actually pay for itself?
+
+    :param min_goodput: goodput floor below which the run is flagged —
+        the recovery machinery (checkpoints + replay) must leave a
+        usable fraction of wall time.
+    :param max_mttr_s: optional ceiling on mean time to recovery.
+    """
+
+    name = "faults"
+
+    def __init__(self, min_goodput: float = 0.5,
+                 max_mttr_s: float | None = None):
+        if not 0.0 <= min_goodput <= 1.0:
+            raise ValueError("min_goodput must be in [0, 1]")
+        self.min_goodput = float(min_goodput)
+        self.max_mttr_s = max_mttr_s
+
+    def analyze(self, report,
+                plan: FaultPlan | None = None) -> MonitorReport:
+        """Reduce a :class:`RecoveryReport` (+ optional plan) to health.
+
+        Every crash in the plan becomes an ``info`` alert at its
+        strike time; threshold crossings (low goodput, slow recovery,
+        replay divergence) escalate to ``warning``/``critical``.
+        """
+        alerts = list(plan_alerts(plan)) if plan is not None else []
+        if report.goodput < self.min_goodput:
+            alerts.append(Alert(
+                time_s=report.total_wall_s,
+                monitor=self.name,
+                severity="warning",
+                message=(f"goodput {report.goodput:.1%} below "
+                         f"{self.min_goodput:.1%} after "
+                         f"{report.crashes} crash(es)"),
+                value=report.goodput,
+                threshold=self.min_goodput))
+        if self.max_mttr_s is not None and report.mttr_s > self.max_mttr_s:
+            alerts.append(Alert(
+                time_s=report.total_wall_s,
+                monitor=self.name,
+                severity="warning",
+                message=(f"MTTR {report.mttr_s:.2f}s exceeds "
+                         f"{self.max_mttr_s:.2f}s"),
+                value=report.mttr_s,
+                threshold=self.max_mttr_s))
+        if report.replay_divergence:
+            alerts.append(Alert(
+                time_s=report.total_wall_s,
+                monitor=self.name,
+                severity="critical",
+                message=(f"{report.replay_divergence} replayed step(s) "
+                         "diverged from the pre-crash trajectory"),
+                value=float(report.replay_divergence),
+                threshold=0.0))
+        summary = {
+            key: value for key, value in report.as_dict().items()
+            if key != "losses"
+        }
+        unhealthy = any(alert.severity in ("warning", "critical")
+                        for alert in alerts)
+        return MonitorReport(
+            monitor=self.name,
+            healthy=not unhealthy,
+            summary=summary,
+            alerts=tuple(alerts))
+
+
+def plan_alerts(plan: FaultPlan) -> list:
+    """One ``info`` alert per planned fault, anchored at strike time."""
+    alerts = []
+    for event in plan.events:
+        if event.kind == "crash":
+            message = (f"worker {event.worker} crash, "
+                       f"down {event.duration_s:g}s")
+        elif event.kind == "straggler":
+            message = (f"worker {event.worker} straggling "
+                       f"{event.severity:g}x for {event.duration_s:g}s")
+        else:
+            message = (f"link to worker {event.worker} degraded to "
+                       f"{event.severity:.0%} for {event.duration_s:g}s")
+        alerts.append(Alert(
+            time_s=event.time_s,
+            monitor="faults",
+            severity="info",
+            message=message,
+            value=event.severity,
+            threshold=0.0))
+    return alerts
+
+
+def plan_report(plan: FaultPlan) -> MonitorReport:
+    """Summarize a fault plan as a monitor report (``profile`` path).
+
+    The plan itself is neither healthy nor unhealthy — injected faults
+    are intentional — so the report stays ``healthy`` and carries the
+    schedule as ``info`` alerts for the trace timeline.
+    """
+    counts = {kind: len(plan.of_kind(kind))
+              for kind in ("crash", "straggler", "link_degrade")}
+    summary = {
+        "events": len(plan),
+        "seed": plan.seed,
+        **{f"{kind}_events": count for kind, count in counts.items()},
+        "first_event_s": plan.events[0].time_s if plan.events else 0.0,
+        "last_event_end_s": (max(event.end_s for event in plan.events)
+                             if plan.events else 0.0),
+    }
+    return MonitorReport(
+        monitor="faults",
+        healthy=True,
+        summary=summary,
+        alerts=tuple(plan_alerts(plan)))

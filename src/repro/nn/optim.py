@@ -42,6 +42,35 @@ class Optimizer:
                       grad: np.ndarray) -> None:
         raise NotImplementedError
 
+    def state_arrays(self) -> dict:
+        """Every optimizer slot as ``{key: array}`` (checkpointing).
+
+        Keys are namespaced (``sparse/<table>``, subclass slots under
+        their own prefix); :meth:`load_state_arrays` inverts the
+        mapping exactly, so a restored optimizer continues the same
+        trajectory bit for bit.
+        """
+        state = {f"sparse/{name}": value
+                 for name, value in self._sparse_state.items()}
+        state.update(self._extra_state_arrays())
+        return state
+
+    def load_state_arrays(self, arrays: dict) -> None:
+        """Restore slots saved by :meth:`state_arrays`."""
+        self._sparse_state = {
+            key[len("sparse/"):]: np.array(value, copy=True)
+            for key, value in arrays.items()
+            if key.startswith("sparse/")
+        }
+        self._load_extra_state(arrays)
+
+    def _extra_state_arrays(self) -> dict:
+        """Subclass hook: additional slots to checkpoint."""
+        return {}
+
+    def _load_extra_state(self, arrays: dict) -> None:
+        """Subclass hook: restore :meth:`_extra_state_arrays` slots."""
+
     def _sparse_update(self, table) -> None:
         state = self._sparse_state.setdefault(
             table.name, np.zeros(table.table.shape, dtype=np.float64))
@@ -73,6 +102,17 @@ class SGD(Optimizer):
         else:
             value -= self.lr * grad
 
+    def _extra_state_arrays(self):
+        return {f"velocity/{name}": value
+                for name, value in self._velocity.items()}
+
+    def _load_extra_state(self, arrays):
+        self._velocity = {
+            key[len("velocity/"):]: np.array(value, copy=True)
+            for key, value in arrays.items()
+            if key.startswith("velocity/")
+        }
+
 
 class Adagrad(Optimizer):
     """Adagrad: per-coordinate adaptive learning rates."""
@@ -87,6 +127,17 @@ class Adagrad(Optimizer):
         acc = self._accumulator.setdefault(name, np.zeros_like(value))
         acc += grad ** 2
         value -= self.lr * grad / (np.sqrt(acc) + self.epsilon)
+
+    def _extra_state_arrays(self):
+        return {f"accumulator/{name}": value
+                for name, value in self._accumulator.items()}
+
+    def _load_extra_state(self, arrays):
+        self._accumulator = {
+            key[len("accumulator/"):]: np.array(value, copy=True)
+            for key, value in arrays.items()
+            if key.startswith("accumulator/")
+        }
 
 
 class Adam(Optimizer):
@@ -117,6 +168,24 @@ class Adam(Optimizer):
         m_hat = m / (1 - self.beta1 ** self._t)
         v_hat = v / (1 - self.beta2 ** self._t)
         value -= self.lr * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+    def _extra_state_arrays(self):
+        state = {f"adam_m/{name}": value
+                 for name, value in self._m.items()}
+        state.update({f"adam_v/{name}": value
+                      for name, value in self._v.items()})
+        state["adam_t"] = np.array(self._t, dtype=np.int64)
+        return state
+
+    def _load_extra_state(self, arrays):
+        self._m = {key[len("adam_m/"):]: np.array(value, copy=True)
+                   for key, value in arrays.items()
+                   if key.startswith("adam_m/")}
+        self._v = {key[len("adam_v/"):]: np.array(value, copy=True)
+                   for key, value in arrays.items()
+                   if key.startswith("adam_v/")}
+        if "adam_t" in arrays:
+            self._t = int(arrays["adam_t"])
 
 
 class Lamb(Adam):

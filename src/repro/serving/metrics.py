@@ -48,10 +48,13 @@ class ServingReport:
     stage_seconds: dict
     latency_hist: Histogram = field(default_factory=Histogram,
                                     compare=False, repr=False)
+    #: Degraded-mode summary (replica loss accounting) when the run
+    #: went through a fault-aware controller; ``None`` otherwise.
+    degraded: dict | None = field(default=None, compare=False)
 
     def as_dict(self) -> dict:
         """Plain-dict export (benchmarks, JSON)."""
-        return {
+        payload = {
             "served": self.served,
             "shed": self.shed,
             "p50_ms": self.p50_ms,
@@ -63,6 +66,9 @@ class ServingReport:
             "makespan_s": self.makespan_s,
             "stage_seconds": dict(self.stage_seconds),
         }
+        if self.degraded is not None:
+            payload["degraded"] = dict(self.degraded)
+        return payload
 
     def merge(self, other: "ServingReport") -> "ServingReport":
         """Combine two runs/shards (``Stats`` protocol).

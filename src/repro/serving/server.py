@@ -27,6 +27,7 @@ determines every reported metric.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -249,7 +250,7 @@ class ModelServer:
 
 def serve_trace(requests: list, server: ModelServer,
                 batcher: MicroBatcher, policy: SloPolicy,
-                tracer=None, metrics=None) -> ServingReport:
+                tracer=None, metrics=None, faults=None) -> ServingReport:
     """Run a request trace through batcher -> SLO gate -> server.
 
     A single-server queue in modeled time: batch ``i`` starts at
@@ -265,13 +266,23 @@ def serve_trace(requests: list, server: ModelServer,
     :param metrics: optional :class:`ServingMetrics` to populate; pass
         one in to keep the raw per-request events (e.g. for the SLO
         burn-rate monitor) after the report is reduced.
+    :param faults: optional degraded-mode controller (duck-typed, see
+        :class:`~repro.faults.degraded.DegradedModeController`): its
+        ``service_factor(t)`` inflates service time while replicas are
+        down and its ``admit`` hook tightens the deadline, so replica
+        loss surfaces as shed rate, never as an unserved outage.  Its
+        ``summary()`` lands on the report's ``degraded`` field.
     """
     metrics = metrics if metrics is not None else ServingMetrics()
     server_free = 0.0
     for index, batch in enumerate(batcher.form_batches(requests)):
         start = max(batch.close_s, server_free)
         estimate = server.estimate_service_s(list(batch.requests))
-        admitted, shed = policy.admit(batch, start, estimate)
+        if faults is not None:
+            estimate *= faults.service_factor(start)
+            admitted, shed = faults.admit(policy, batch, start, estimate)
+        else:
+            admitted, shed = policy.admit(batch, start, estimate)
         for request in shed:
             metrics.record_shed(request.arrival_s, start)
             if tracer is not None:
@@ -280,7 +291,10 @@ def serve_trace(requests: list, server: ModelServer,
         if not admitted:
             continue
         outcome = server.process(admitted)
-        completion = start + outcome.service_s
+        service_s = outcome.service_s
+        if faults is not None:
+            service_s *= faults.service_factor(start)
+        completion = start + service_s
         metrics.record_stage("batch_wait", sum(
             batch.close_s - request.arrival_s for request in admitted))
         metrics.record_stage("queue", start - batch.close_s)
@@ -302,7 +316,10 @@ def serve_trace(requests: list, server: ModelServer,
                                    "fetch_s": outcome.fetch_s,
                                    "compute_s": outcome.compute_s})
         server_free = completion
-    return metrics.report(cache_hit_ratio=server.cache_hit_ratio())
+    report = metrics.report(cache_hit_ratio=server.cache_hit_ratio())
+    if faults is not None:
+        report = dataclasses.replace(report, degraded=faults.summary())
+    return report
 
 
 def simulate_serving(num_requests: int = 10_000, seed: int = 0,
@@ -316,13 +333,20 @@ def simulate_serving(num_requests: int = 10_000, seed: int = 0,
                      node: NodeSpec = GN6E_NODE,
                      dataset: DatasetSpec | None = None,
                      variant: str = "wdl",
+                     replicas: int = 1, fault_plan=None,
                      tracer=None, metrics=None) -> ServingReport:
-    """End-to-end serving simulation; the CLI/benchmark entry point.
+    """End-to-end serving simulation; the facade's entry point.
 
     Builds traffic, cache hierarchy (``cache`` in :data:`CACHE_KINDS`),
     network and SLO policy from one seed and returns the final report.
     ``tracer`` (a :class:`repro.telemetry.Tracer`) captures the run as
     modeled-time spans; see :func:`serve_trace`.
+
+    ``fault_plan`` (a :class:`~repro.faults.plan.FaultPlan`) marks
+    replica-loss windows across ``replicas`` replicas: the run enters
+    degraded mode (service inflation + admission tightening) instead
+    of dropping traffic on the floor, and the report's ``degraded``
+    field accounts for it.
     """
     dataset = dataset or default_serving_dataset()
     network = WdlNetwork(dataset, variant=variant, seed=seed)
@@ -344,5 +368,11 @@ def simulate_serving(num_requests: int = 10_000, seed: int = 0,
     batcher = MicroBatcher(max_batch_size=max_batch_size,
                            max_wait_s=max_wait_s)
     policy = SloPolicy(SloConfig(latency_budget_s=slo_s))
+    faults = None
+    if fault_plan is not None and len(fault_plan):
+        # Imported lazily: repro.faults depends on repro.serving for
+        # the SLO types, so the reverse edge must stay runtime-only.
+        from repro.faults.degraded import DegradedModeController
+        faults = DegradedModeController(fault_plan, replicas=replicas)
     return serve_trace(requests, server, batcher, policy, tracer=tracer,
-                       metrics=metrics)
+                       metrics=metrics, faults=faults)

@@ -206,7 +206,7 @@ class Engine:
         self.record_trace = record_trace
 
     def run(self, tasks: list, keep_finish_times: bool = False,
-            record_tasks: bool = False) -> SimResult:
+            record_tasks: bool = False, injector=None) -> SimResult:
         """Execute ``tasks`` and return timing plus utilization traces.
 
         With ``record_tasks=True`` the result additionally carries one
@@ -215,6 +215,15 @@ class Engine:
         :mod:`repro.telemetry`'s trace export and critical-path
         analysis.  Purely additive: scheduling decisions are identical
         either way.
+
+        ``injector`` (a :class:`~repro.faults.inject.FaultInjector`)
+        perturbs the run: per-kind capacity scaling over fault windows
+        (stragglers, degraded links, crash blackouts) and, at each
+        crash, kill-and-requeue of every in-flight task — the current
+        phase's partial progress is lost and the task re-enters its
+        resource queue.  Event stepping is exact: time advances to the
+        earliest of the next phase completion and the next fault
+        boundary, so capacity changes never smear across a window edge.
 
         Raises :class:`RuntimeError` on dependency cycles (detected as a
         stall with unfinished tasks) and :class:`KeyError` when a phase
@@ -298,6 +307,27 @@ class Engine:
         for task in initially_ready:
             admit(task)
 
+        def kill_in_flight() -> int:
+            """Crash semantics: every in-flight task loses its current
+            phase's progress and re-enters its resource queue."""
+            killed = 0
+            for resource in self.resources.values():
+                for task in list(resource.active):
+                    end_segment(task)  # the aborted occupancy stays visible
+                    task.remaining = task.current_phase.work
+                    resource.active.remove(task)
+                    running.discard(task)
+                    resource.queue.append(task)
+                    killed += 1
+                while resource.queue and resource.has_free_slot():
+                    queued = resource.queue.pop(0)
+                    resource.active.append(queued)
+                    running.add(queued)
+                    begin_segment(queued)
+                    if queued.start_time is None:
+                        queued.start_time = now
+            return killed
+
         while running:
             events += 1
             # Allocate rates per resource and find the earliest completion.
@@ -307,17 +337,23 @@ class Engine:
             for kind, resource in self.resources.items():
                 if not resource.active:
                     continue
-                allocation = resource.allocate_rates()
+                scale = injector.scale(kind, now) if injector else 1.0
+                allocation = resource.allocate_rates(scale)
                 totals[kind] = sum(allocation.values())
                 for task, rate in allocation.items():
                     rates[task] = rate
                     if rate > 0:
                         dt = min(dt, task.remaining / rate)
+            if injector is not None:
+                boundary = injector.next_boundary(now)
+                if math.isfinite(boundary):
+                    dt = min(dt, max(boundary - now, 0.0))
             if not math.isfinite(dt):
                 raise RuntimeError("simulation stalled with running tasks")
             dt = max(dt, 0.0)
             if dt > 0:
                 recorder.add_interval(now, now + dt, totals)
+            previous = now
             now += dt
 
             completed_phase = []
@@ -341,6 +377,10 @@ class Engine:
                     admit(task)
                 else:
                     complete(task)
+
+            if injector is not None:
+                for event in injector.crashes_between(previous, now):
+                    injector.record(event, now, kill_in_flight())
 
         if finished != total:
             stuck = total - finished

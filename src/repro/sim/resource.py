@@ -87,19 +87,25 @@ class Resource:
         """Whether another task may start executing immediately."""
         return self.slots is None or len(self.active) < self.slots
 
-    def allocate_rates(self) -> dict:
+    def allocate_rates(self, scale: float = 1.0) -> dict:
         """Water-filling allocation of capacity across active tasks.
 
         Tasks whose ``max_rate`` is below their fair share keep their
         ``max_rate``; the slack is redistributed among the remaining
         tasks until the capacity is exhausted or every task is capped.
         Returns a mapping of task -> rate (resource units per second).
+
+        :param scale: transient capacity multiplier in ``[0, 1]`` (a
+            fault injector's straggler/blackout windows); ``0`` stalls
+            every occupant without evicting it.
         """
         if not self.active:
             return {}
+        if scale <= 0.0:
+            return {task: 0.0 for task in self.active}
         rates: dict = {}
         remaining = list(self.active)
-        budget = self.capacity
+        budget = self.capacity * min(1.0, float(scale))
         # Iterate: cap the slowest-demand tasks first, then re-share.
         while remaining:
             fair = budget / len(remaining)

@@ -3,13 +3,16 @@
 Production PICASSO leans on in-house failover-recovery (out of the
 paper's scope); an open-source release still needs basic durable
 checkpoints.  State is serialized with ``numpy.savez`` — dense
-parameters, embedding tables, and optimizer slots — so a resumed run
-continues the exact trajectory.
+parameters, embedding tables, and (when an optimizer is passed)
+optimizer slots — so a resumed run continues the *exact* trajectory:
+with optimizer state included, a crash-and-restore replay reproduces
+the uncrashed loss history bit for bit, which is what
+:class:`~repro.faults.resilient.ResilientTrainer` builds its recovery
+guarantee on.
 """
 
 from __future__ import annotations
 
-import io
 import json
 from pathlib import Path
 
@@ -17,10 +20,19 @@ import numpy as np
 
 from repro.nn.network import WdlNetwork
 
+_OPT_PREFIX = "opt/"
+
 
 def save_checkpoint(network: WdlNetwork, path, step: int = 0,
-                    metadata: dict | None = None) -> None:
-    """Serialize a network's full trainable state to ``path`` (.npz)."""
+                    metadata: dict | None = None,
+                    optimizer=None) -> None:
+    """Serialize a network's full trainable state to ``path`` (.npz).
+
+    :param optimizer: optional optimizer whose slot arrays (Adagrad
+        accumulators, momenta, sparse-row state) are stored alongside
+        the parameters; restoring them makes a resumed run bitwise
+        identical to an uninterrupted one.
+    """
     if step < 0:
         raise ValueError("step must be >= 0")
     arrays = {}
@@ -28,11 +40,15 @@ def save_checkpoint(network: WdlNetwork, path, step: int = 0,
         arrays[f"dense/{name}"] = value
     for field_name, table in network.embeddings.items():
         arrays[f"table/{field_name}"] = table.table
+    if optimizer is not None:
+        for key, value in optimizer.state_arrays().items():
+            arrays[f"{_OPT_PREFIX}{key}"] = value
     header = {
         "step": step,
         "variant": network.variant,
         "embedding_dim": network.embedding_dim,
         "dataset": network.dataset.name,
+        "has_optimizer_state": optimizer is not None,
         "metadata": metadata or {},
     }
     arrays["__header__"] = np.frombuffer(
@@ -40,17 +56,41 @@ def save_checkpoint(network: WdlNetwork, path, step: int = 0,
     np.savez(path, **arrays)
 
 
-def load_checkpoint(network: WdlNetwork, path) -> dict:
+def load_checkpoint(network: WdlNetwork, path, optimizer=None,
+                    expected_step: int | None = None) -> dict:
     """Restore state saved by :func:`save_checkpoint`; returns header.
 
-    Raises :class:`ValueError` when the checkpoint does not match the
-    network's architecture (variant, dims, table shapes).
+    :param optimizer: optional optimizer to restore slot state into
+        (saved with ``save_checkpoint(..., optimizer=...)``).
+    :param expected_step: when given, the header's ``step`` must match
+        exactly — resume code passes the step it believes it restored
+        to, catching stale or mislabeled checkpoints up front.
+
+    Raises :class:`FileNotFoundError` naming both tried paths when
+    neither ``path`` nor ``path.npz`` exists, and :class:`ValueError`
+    when the checkpoint does not match the network's architecture
+    (variant, dims, table shapes), carries a malformed ``step``
+    header, or disagrees with ``expected_step``.
     """
     path = Path(path)
-    if not path.exists() and path.with_suffix(".npz").exists():
-        path = path.with_suffix(".npz")
+    if not path.exists():
+        with_suffix = path.with_suffix(".npz")
+        if with_suffix.exists():
+            path = with_suffix
+        else:
+            raise FileNotFoundError(
+                f"no checkpoint found at {path} or {with_suffix}")
     with np.load(path) as archive:
         header = json.loads(bytes(archive["__header__"]).decode())
+        step = header.get("step")
+        if not isinstance(step, int) or step < 0:
+            raise ValueError(
+                f"checkpoint {path} carries a malformed step header: "
+                f"{step!r}")
+        if expected_step is not None and step != expected_step:
+            raise ValueError(
+                f"checkpoint {path} is at step {step}, "
+                f"expected step {expected_step}")
         if header["variant"] != network.variant:
             raise ValueError(
                 f"checkpoint variant {header['variant']!r} != "
@@ -68,14 +108,23 @@ def load_checkpoint(network: WdlNetwork, path) -> dict:
                 raise ValueError(
                     f"table shape mismatch for {field_name}")
             table.table[:] = stored
+        if optimizer is not None:
+            optimizer.load_state_arrays({
+                key[len(_OPT_PREFIX):]: archive[key]
+                for key in archive.files
+                if key.startswith(_OPT_PREFIX)
+            })
     return header
 
 
-def checkpoint_bytes(network: WdlNetwork) -> int:
+def checkpoint_bytes(network: WdlNetwork, optimizer=None) -> int:
     """Approximate serialized size of a checkpoint (bytes)."""
     total = 0
     for _name, (value, _grad) in network.parameters().items():
         total += value.nbytes
     for table in network.embeddings.values():
         total += table.table.nbytes
+    if optimizer is not None:
+        for value in optimizer.state_arrays().values():
+            total += value.nbytes
     return total

@@ -83,6 +83,25 @@ class SyncTrainer:
         self.registry = registry
         self.loss_ewma = Ewma(alpha=loss_alpha)
 
+    def step(self, batch, index: int = 0) -> float:
+        """One optimizer step on ``batch``; returns its loss.
+
+        The single-step entry point :meth:`train` loops over — exposed
+        so wrappers that own the step loop (the fault-injecting
+        :class:`~repro.faults.resilient.ResilientTrainer` replaying
+        work after a restore) drive the same telemetry path.
+        """
+        with maybe_span(self.tracer, "train/step", category="training",
+                        track="train", step=index) as span:
+            loss = self.network.train_step(batch, self.optimizer)
+            if span is not None:
+                span.attrs["loss"] = loss
+        smoothed = self.loss_ewma.update(loss)
+        if self.registry is not None:
+            self.registry.counter("train/steps").inc()
+            self.registry.gauge("train/loss_ewma").set(smoothed)
+        return loss
+
     def train(self, iterator, steps: int) -> list:
         """Run ``steps`` updates; returns per-step losses."""
         if steps < 0:
@@ -91,17 +110,7 @@ class SyncTrainer:
         with maybe_span(self.tracer, "train", category="training",
                         track="train", steps=steps):
             for index, batch in enumerate(iterator.batches(steps)):
-                with maybe_span(self.tracer, "train/step",
-                                category="training", track="train",
-                                step=index) as span:
-                    loss = self.network.train_step(batch, self.optimizer)
-                    if span is not None:
-                        span.attrs["loss"] = loss
-                losses.append(loss)
-                smoothed = self.loss_ewma.update(loss)
-                if self.registry is not None:
-                    self.registry.counter("train/steps").inc()
-                    self.registry.gauge("train/loss_ewma").set(smoothed)
+                losses.append(self.step(batch, index))
         return losses
 
 

@@ -3,7 +3,8 @@
 import pytest
 
 from repro import api
-from repro.api import FRAMEWORKS, ProfileResult, RunConfig
+from repro.api import FRAMEWORKS, ProfileResult, RunConfig, ServeConfig
+from repro.faults import FaultEvent, FaultPlan
 from repro.embedding.hybrid_hash import CacheStats
 from repro.embedding.multilevel import TierStats
 from repro.hardware import eflops_cluster
@@ -61,6 +62,57 @@ class TestRunConfig:
         with pytest.raises(ValueError):
             RunConfig(dataset="ImageNet").build_model()
 
+    def test_round_trip_with_fault_plan(self):
+        plan = FaultPlan(events=(
+            FaultEvent(kind="crash", time_s=1.0, duration_s=0.5),))
+        config = TINY.with_overrides(fault_plan=plan)
+        rebuilt = RunConfig.from_dict(config.as_dict())
+        assert rebuilt.fault_plan == plan
+        assert rebuilt.model == TINY.model
+        assert RunConfig.from_dict(TINY.as_dict()).fault_plan is None
+
+
+class TestFrameworkRegistry:
+    def test_built_ins_registered(self):
+        names = api.frameworks()
+        assert "PICASSO" in names
+        assert "TF-PS" in names
+        # The legacy module attribute is a live view of the registry.
+        assert names == api.FRAMEWORKS
+
+    def test_duplicate_name_rejected_without_overwrite(self):
+        with pytest.raises(ValueError):
+            api.register_framework("PICASSO", lambda *a: None)
+
+    def test_runner_must_be_callable(self):
+        with pytest.raises(TypeError):
+            api.register_framework("NotCallable", runner=42)
+        with pytest.raises(ValueError):
+            api.register_framework("", lambda *a: None)
+
+    def test_plugin_framework_dispatches_through_run(self):
+        calls = []
+
+        def runner(config, model, cluster):
+            calls.append((config.framework, model.name,
+                          cluster.num_nodes))
+            return api.run(config.with_overrides(framework="PICASSO"),
+                           model=model)
+
+        api.register_framework("TestPlugin", runner)
+        try:
+            assert "TestPlugin" in api.FRAMEWORKS
+            report = api.run(TINY.with_overrides(framework="TestPlugin"))
+            assert report.ips > 0
+            assert calls == [("TestPlugin", "DLRM", 2)]
+        finally:
+            api._FRAMEWORK_REGISTRY.pop("TestPlugin", None)
+
+    def test_framework_runner_lookup(self):
+        assert callable(api.framework_runner("PICASSO"))
+        with pytest.raises(ValueError, match="unknown framework"):
+            api.framework_runner("MXNet")
+
 
 class TestRunFacade:
     def test_unknown_framework_rejected(self):
@@ -110,6 +162,60 @@ class TestProfileFacade:
         workload = result.trace["otherData"]["workload"]
         assert workload["model"] == "DLRM"
         assert workload["record_tasks"] is True
+
+
+class TestServeFacade:
+    def test_serve_returns_report(self):
+        report = api.serve(ServeConfig(requests=300))
+        assert report.served + report.shed == 300
+        assert report.qps > 0
+        assert report.degraded is None
+
+    def test_with_overrides_and_round_trip(self):
+        base = ServeConfig(requests=500, cache="hbm")
+        swept = base.with_overrides(cache="dram", max_batch_size=128)
+        assert swept.cache == "dram"
+        assert swept.max_batch_size == 128
+        assert base.cache == "hbm"  # original untouched
+        assert ServeConfig.from_dict(swept.as_dict()) == swept
+
+    def test_round_trip_with_fault_plan(self):
+        plan = FaultPlan.periodic(crash_rate=50.0, duration_s=0.02,
+                                  crash_downtime_s=0.005, workers=2)
+        config = ServeConfig(requests=200, replicas=2, fault_plan=plan)
+        rebuilt = ServeConfig.from_dict(config.as_dict())
+        assert rebuilt == config
+        assert rebuilt.fault_plan == plan
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServeConfig(requests=0)
+        with pytest.raises(ValueError):
+            ServeConfig(replicas=0)
+        with pytest.raises(ValueError):
+            ServeConfig(cache="tape")
+
+    def test_serve_matches_direct_simulation(self):
+        from repro.serving.server import simulate_serving
+
+        config = ServeConfig(requests=400, seed=3, cache="hbm")
+        via_facade = api.serve(config)
+        direct = simulate_serving(num_requests=400, seed=3, cache="hbm")
+        assert via_facade.as_dict() == direct.as_dict()
+
+
+class TestProfileFaultPlan:
+    def test_profile_reports_fault_schedule(self):
+        plan = FaultPlan(events=(
+            FaultEvent(kind="crash", time_s=0.001, duration_s=0.001),))
+        result = api.profile(TINY.with_overrides(fault_plan=plan))
+        assert "faults" in result.monitors
+        verdict = result.monitors["faults"]
+        assert verdict.healthy
+        assert verdict.summary["crash_events"] == 1
+
+    def test_profile_without_plan_has_no_faults_monitor(self):
+        assert "faults" not in api.profile(TINY).monitors
 
 
 class TestStatsProtocol:

@@ -21,14 +21,18 @@ def _dataset():
     ))
 
 
-def _trained_network(steps=5, seed=0):
+def _trained(steps=5, seed=0):
     network = WdlNetwork(_dataset(), variant="dlrm", embedding_dim=8,
                          mlp_layers=(16,), seed=seed)
     iterator = LabeledBatchIterator(_dataset(), 64, seed=seed)
     optimizer = Adagrad(lr=0.05)
     for batch in iterator.batches(steps):
         network.train_step(batch, optimizer)
-    return network
+    return network, optimizer
+
+
+def _trained_network(steps=5, seed=0):
+    return _trained(steps=steps, seed=seed)[0]
 
 
 class TestRoundTrip:
@@ -49,26 +53,40 @@ class TestRoundTrip:
                                   fresh.embeddings[field_name].table)
 
     def test_resumed_training_continues_trajectory(self, tmp_path):
-        """Save at step 5, resume, and match an uninterrupted run."""
+        """Save at step 5 with optimizer slots, resume, and match an
+        uninterrupted run bitwise."""
         straight = _trained_network(steps=10, seed=0)
 
-        first_half = _trained_network(steps=5, seed=0)
+        first_half, mid_optimizer = _trained(steps=5, seed=0)
         path = tmp_path / "mid.npz"
-        save_checkpoint(first_half, path, step=5)
+        save_checkpoint(first_half, path, step=5,
+                        optimizer=mid_optimizer)
         resumed = WdlNetwork(_dataset(), variant="dlrm",
-                             embedding_dim=8, mlp_layers=(16,), seed=0)
-        load_checkpoint(resumed, path)
-        # Fresh optimizer state differs (Adagrad accumulators are not
-        # checkpointed here), so compare predictions loosely after the
-        # same remaining data.
-        iterator = LabeledBatchIterator(_dataset(), 64, seed=0)
+                             embedding_dim=8, mlp_layers=(16,), seed=99)
         optimizer = Adagrad(lr=0.05)
+        load_checkpoint(resumed, path, optimizer=optimizer)
+        # With Adagrad accumulators restored, the resumed run continues
+        # the exact trajectory, not an approximation of it.
+        iterator = LabeledBatchIterator(_dataset(), 64, seed=0)
         batches = list(iterator.batches(10))
         for batch in batches[5:]:
             resumed.train_step(batch, optimizer)
         probe = batches[0]
-        assert np.abs(straight.predict(probe)
-                      - resumed.predict(probe)).mean() < 0.15
+        assert np.array_equal(straight.predict(probe),
+                              resumed.predict(probe))
+
+    def test_optimizer_state_round_trip(self, tmp_path):
+        trained, optimizer = _trained(steps=5)
+        path = tmp_path / "opt.npz"
+        save_checkpoint(trained, path, step=5, optimizer=optimizer)
+        header = load_checkpoint(_trained_network(steps=1), path,
+                                 optimizer=(fresh := Adagrad(lr=0.05)))
+        assert header["has_optimizer_state"] is True
+        saved = optimizer.state_arrays()
+        restored = fresh.state_arrays()
+        assert saved.keys() == restored.keys()
+        for key, value in saved.items():
+            assert np.array_equal(value, restored[key]), key
 
     def test_metadata_round_trip(self, tmp_path):
         network = _trained_network(steps=1)
@@ -108,6 +126,23 @@ class TestValidation:
         with pytest.raises(ValueError):
             save_checkpoint(_trained_network(steps=1),
                             tmp_path / "x.npz", step=-1)
+
+    def test_missing_file_names_both_tried_paths(self, tmp_path):
+        network = _trained_network(steps=1)
+        missing = tmp_path / "nope"
+        with pytest.raises(FileNotFoundError) as excinfo:
+            load_checkpoint(network, missing)
+        assert str(missing) in str(excinfo.value)
+        assert str(missing.with_suffix(".npz")) in str(excinfo.value)
+
+    def test_expected_step_mismatch(self, tmp_path):
+        network = _trained_network(steps=1)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(network, path, step=7)
+        with pytest.raises(ValueError, match="step 7.*expected step 3"):
+            load_checkpoint(network, path, expected_step=3)
+        assert load_checkpoint(network, path,
+                               expected_step=7)["step"] == 7
 
     def test_checkpoint_bytes_positive(self):
         network = _trained_network(steps=1)
