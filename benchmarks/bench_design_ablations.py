@@ -23,7 +23,6 @@ from repro.graph.builder import (
 from repro.hardware import eflops_cluster
 from repro.models import can, dlrm
 from repro.sim.engine import Engine, build_node_resources
-from repro.sim.resource import ResourceKind
 
 
 def _baseline_plan(model, cluster, batch):

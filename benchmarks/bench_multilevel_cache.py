@@ -8,7 +8,6 @@ that fall through to the slowest storage collapses, and the modeled
 access cost drops accordingly.
 """
 
-import numpy as np
 from conftest import run_once, show
 
 from repro.data.spec import FieldSpec

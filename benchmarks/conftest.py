@@ -8,7 +8,6 @@ the suite doubles as a regression harness for the reproduction.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments.common import format_table
 
@@ -25,7 +24,7 @@ def show(title: str, rows: list, reference=None) -> None:
     if rows:
         print(format_table(rows, list(rows[0].keys())))
     if reference:
-        print(f"-- paper reference --")
+        print("-- paper reference --")
         if isinstance(reference, list) and reference \
                 and isinstance(reference[0], dict):
             print(format_table(reference, list(reference[0].keys())))

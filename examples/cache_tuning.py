@@ -8,7 +8,6 @@ production workload and shows the marginal-returns effect.
 Run:  python examples/cache_tuning.py
 """
 
-import numpy as np
 
 from repro.core.caching import batch_size_penalty, expected_hit_ratio
 from repro.data import product1

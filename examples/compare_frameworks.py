@@ -21,7 +21,7 @@ def main() -> None:
     model = dlrm(criteo())
     cluster = gn6e_cluster(num_nodes=1)
     print(f"DLRM on Criteo ({model.dataset.total_parameters:.3g} "
-          f"embedding parameters), one 8-GPU node\n")
+          "embedding parameters), one 8-GPU node\n")
     print(f"{'system':10s} {'batch':>7s} {'IPS':>10s} "
           f"{'ms/iter':>8s} {'SM util':>8s}")
 
@@ -40,10 +40,10 @@ def main() -> None:
 
     best_baseline = max(results[name].ips
                         for name in ("PyTorch", "Horovod"))
-    print(f"\nPICASSO speedup: "
+    print("\nPICASSO speedup: "
           f"{results['PICASSO'].ips / results['TF-PS'].ips:.1f}x over "
           f"TF-PS, {results['PICASSO'].ips / best_baseline:.1f}x over "
-          f"the best collective baseline")
+          "the best collective baseline")
 
 
 if __name__ == "__main__":

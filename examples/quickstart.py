@@ -40,7 +40,7 @@ def main() -> None:
     baseline = PicassoExecutor(model, cluster, PicassoConfig.base())
     base_report = baseline.run(batch_size=20_000, iterations=3)
     speedup = report.ips / base_report.ips
-    print(f"\nvs PICASSO(Base) (hybrid strategy, no optimization): "
+    print("\nvs PICASSO(Base) (hybrid strategy, no optimization): "
           f"{speedup:.2f}x")
 
 

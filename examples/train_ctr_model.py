@@ -34,7 +34,7 @@ def main() -> None:
 
     gap = sync.auc - async_ps.auc
     print(f"\nsync - async AUC gap: {gap:+.4f} "
-          f"(paper Tab. III: async TF-PS trails by ~0.0001-0.0005)")
+          "(paper Tab. III: async TF-PS trails by ~0.0001-0.0005)")
 
 
 if __name__ == "__main__":

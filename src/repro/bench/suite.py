@@ -15,7 +15,12 @@ Each benchmark is one deterministic, CI-sized workload reduced to a
 * ``faults`` — the fault-recovery sweep plus degraded-mode serving:
   recovery overhead (goodput ratio vs crash-free, MTTR, replay
   divergence) and replica-loss admission behaviour, gated so a
-  regression in the recovery path fails CI.
+  regression in the recovery path fails CI;
+* ``shards`` — skew-aware shard placement vs hash sharding on the
+  acceptance workload (Zipf(1.2), 8 workers): measured max/mean
+  per-worker AllToAllv bytes under both policies and the planner's
+  ratio cut, gated so a placement regression that re-skews the
+  exchange (or drops the cut below 25%) fails CI.
 
 Workloads are deliberately small (seconds each): the gate's job is
 catching regressions on every PR, not measuring peak numbers.
@@ -29,13 +34,19 @@ from repro.api import RunConfig, ServeConfig, profile, serve
 from repro.bench.snapshot import BenchSnapshot
 from repro.core import PicassoConfig
 from repro.data import BoundedZipf
+from repro.data.spec import FieldSpec
 from repro.embedding.hybrid_hash import HybridHash
+from repro.embedding.placement import ShardPlanner, compare_policies
 from repro.embedding.table import EmbeddingTable
 from repro.experiments.fault_recovery import run_fault_recovery
 from repro.faults import FaultPlan
 from repro.serving.metrics import ServingMetrics
 from repro.serving.server import simulate_serving
-from repro.telemetry import CacheHealthMonitor, SloBurnRateMonitor
+from repro.telemetry import (
+    CacheHealthMonitor,
+    SkewMonitor,
+    SloBurnRateMonitor,
+)
 
 #: The tiny-but-representative training workload the gates run on.
 _TRAIN_CONFIG = dict(model="W&D", dataset="Product-1", scale=0.05,
@@ -272,6 +283,82 @@ def bench_faults() -> BenchSnapshot:
         tolerances=tolerances)
 
 
+def bench_shards() -> BenchSnapshot:
+    """Skew-aware placement vs hash sharding on the acceptance cell.
+
+    Prices identical seeded Zipf(1.2) traffic through both policies on
+    8 workers.  The gate holds the planner to its contract: the
+    measured max/mean shard-bytes cut must stay >= 25% (the ISSUE 5
+    acceptance bar), replication/dedication structure must stay put,
+    and the hash baseline itself must stay reproducible.
+    """
+    config = dict(vocab_size=50_000, exponent=1.2, num_fields=4,
+                  dim=16, per_worker_batch=4_096, workers=8, seed=0)
+    specs = [FieldSpec(name=f"f{index}",
+                       vocab_size=config["vocab_size"],
+                       embedding_dim=config["dim"],
+                       zipf_exponent=config["exponent"])
+             for index in range(config["num_fields"])]
+    workers = config["workers"]
+    planner = ShardPlanner(workers)
+    profiles = planner.profiles_for_fields(
+        specs, config["per_worker_batch"])
+    sampler = BoundedZipf(vocab_size=config["vocab_size"],
+                          exponent=config["exponent"])
+    rng = np.random.default_rng(config["seed"])
+    batches = {
+        spec.name: [sampler.sample(config["per_worker_batch"], rng)
+                    for _worker in range(workers)]
+        for spec in specs
+    }
+    result = compare_policies(profiles, batches, workers)
+    hash_load, planned_load = result["hash"], result["planned"]
+    planned_plan = result["plans"]["planned"]
+    monitor = SkewMonitor(max_ratio=1.5)
+    skew_hash = monitor.analyze(hash_load)
+    skew_planned = monitor.analyze(planned_load)
+    ratio_cut = (1.0 - planned_load.max_mean_ratio
+                 / hash_load.max_mean_ratio)
+    metrics = {
+        "hash_ratio": hash_load.max_mean_ratio,
+        "planned_ratio": planned_load.max_mean_ratio,
+        "ratio_cut": ratio_cut,
+        "hash_max_bytes": hash_load.max_bytes,
+        "planned_max_bytes": planned_load.max_bytes,
+        "max_bytes_cut": (1.0 - planned_load.max_bytes
+                          / hash_load.max_bytes),
+        "replicated_rows": planned_plan.replicated_rows,
+        "dedicated_rows": sum(
+            entry.dedicated_ids.size
+            for entry in planned_plan.fields.values()),
+        "replicated_bytes": planned_load.replicated_bytes,
+        "predicted_ratio_planned": planned_plan.predicted_ratio(),
+        "hash_skew_alerts": len(skew_hash.alerts),
+        "planned_skew_alerts": len(skew_planned.alerts),
+    }
+    tolerances = {
+        "replicated_rows": 0.0,
+        "dedicated_rows": 0.0,
+        "hash_skew_alerts": 0.0,
+        "planned_skew_alerts": 0.0,
+        "hash_ratio": 0.02,
+        "planned_ratio": 0.02,
+        "ratio_cut": 0.05,
+        "hash_max_bytes": 0.02,
+        "planned_max_bytes": 0.02,
+        "max_bytes_cut": 0.02,
+        "replicated_bytes": 0.02,
+        "predicted_ratio_planned": 0.02,
+    }
+    return BenchSnapshot(
+        name="shards",
+        config=config,
+        metrics=metrics,
+        monitors={"skew_hash": skew_hash.summary,
+                  "skew_planned": skew_planned.summary},
+        tolerances=tolerances)
+
+
 #: Name -> builder for every benchmark ``repro bench run`` knows.
 BENCHES = {
     "training": bench_training,
@@ -279,6 +366,7 @@ BENCHES = {
     "serving": bench_serving,
     "cache": bench_cache,
     "faults": bench_faults,
+    "shards": bench_shards,
 }
 
 

@@ -14,6 +14,9 @@ Commands:
   plus run-health monitor verdicts.
 * ``bench`` — run the regression benchmark suite (``bench run``) and
   gate candidate snapshots against baselines (``bench compare``).
+* ``plan-shards`` — build a skew-aware embedding shard placement,
+  price seeded traffic under hash vs planned ownership, and
+  optionally write the lossless plan JSON.
 
 Workload commands are thin wrappers over the :mod:`repro.api` facade:
 flags build a :class:`~repro.api.RunConfig`, :func:`repro.api.run`
@@ -23,8 +26,11 @@ executes it.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
+
+import numpy as np
 
 from repro import api
 from repro.api import RunConfig, ServeConfig
@@ -38,7 +44,13 @@ from repro.bench import (
     write_snapshot,
 )
 from repro.core import PicassoConfig
-from repro.data import ALL_DATASETS
+from repro.data import ALL_DATASETS, BoundedZipf
+from repro.data.spec import FieldSpec
+from repro.embedding.placement import (
+    PlannerConfig,
+    ShardPlanner,
+    compare_policies,
+)
 from repro.experiments import runner as experiment_runner
 from repro.experiments.common import format_table, mini_criteo
 from repro.models import MODEL_BUILDERS
@@ -230,13 +242,13 @@ def cmd_profile(args) -> int:
         if name == "pulse":
             detail = (f"{monitor.summary['num_phases']} phases "
                       f"({monitor.summary['alternations']} mem<->compute "
-                      f"alternations), "
+                      "alternations), "
                       f"{monitor.summary['idle_fraction']:.1%} idle")
         elif name == "overlap":
-            detail = (f"comm/compute overlap "
+            detail = ("comm/compute overlap "
                       f"{monitor.summary['overlap_ratio']:.1%} "
                       f"({monitor.summary['exposed_seconds'] * 1e3:.1f} ms "
-                      f"exposed)")
+                      "exposed)")
         else:
             detail = ""
         print(f"monitor {name}: {verdict} — {detail}")
@@ -244,7 +256,7 @@ def cmd_profile(args) -> int:
             print(f"  [{alert.severity}] t={alert.time_s:.3f}s "
                   f"{alert.message}")
     print(f"chrome trace: {path} "
-          f"(open in chrome://tracing or https://ui.perfetto.dev)")
+          "(open in chrome://tracing or https://ui.perfetto.dev)")
     return 0
 
 
@@ -297,6 +309,51 @@ def cmd_bench_compare(args) -> int:
         print(f"{failures} bench gate(s) FAILED")
         return 1
     print("all bench gates passed")
+    return 0
+
+
+def cmd_plan_shards(args) -> int:
+    specs = [FieldSpec(name=f"f{index}", vocab_size=args.vocab,
+                       embedding_dim=args.dim, zipf_exponent=args.skew)
+             for index in range(args.fields)]
+    config = PlannerConfig(
+        partitions_per_worker=args.partitions_per_worker,
+        hot_candidates=args.hot_candidates,
+        replicate_threshold=args.replicate_threshold)
+    planner = ShardPlanner(args.workers, config)
+    profiles = planner.profiles_for_fields(specs, args.batch)
+    sampler = BoundedZipf(vocab_size=args.vocab, exponent=args.skew)
+    rng = np.random.default_rng(args.seed)
+    batches = {
+        spec.name: [sampler.sample(args.batch, rng)
+                    for _worker in range(args.workers)]
+        for spec in specs
+    }
+    result = compare_policies(profiles, batches, args.workers, config)
+    print(f"workload: {args.fields} fields x vocab {args.vocab} "
+          f"(Zipf {args.skew:g}), {args.workers} workers, "
+          f"{args.batch} IDs/worker/step")
+    for policy in ("hash", "planned"):
+        plan = result["plans"][policy]
+        load = result[policy]
+        summary = plan.summary()
+        print(f"{policy:>8}: measured max/mean "
+              f"{load.max_mean_ratio:.3f} "
+              f"(max {load.max_bytes:,.0f} B/step), predicted "
+              f"{summary['predicted_ratio']:.3f}, replicated "
+              f"{summary['replicated_rows']}, dedicated "
+              f"{summary['dedicated_rows']}")
+    hash_load, planned_load = result["hash"], result["planned"]
+    cut = 1.0 - planned_load.max_mean_ratio / hash_load.max_mean_ratio
+    print("planned placement cuts max/mean exchange ratio by "
+          f"{cut:.1%} (max bytes by "
+          f"{1.0 - planned_load.max_bytes / hash_load.max_bytes:.1%})")
+    if args.output:
+        plan = result["plans"][args.policy]
+        with open(args.output, "w") as handle:
+            json.dump(plan.as_dict(), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"{args.policy} plan written to {args.output}")
     return 0
 
 
@@ -418,6 +475,34 @@ def build_parser() -> argparse.ArgumentParser:
     bench_compare.add_argument("--only",
                                help="comma-separated bench names")
     bench_compare.set_defaults(func=cmd_bench_compare)
+
+    shards = sub.add_parser(
+        "plan-shards",
+        help="skew-aware shard placement: hash vs planned exchange")
+    shards.add_argument("--workers", type=int, default=8)
+    shards.add_argument("--fields", type=int, default=4,
+                        help="number of embedding fields")
+    shards.add_argument("--vocab", type=int, default=50_000,
+                        help="vocabulary size per field")
+    shards.add_argument("--dim", type=int, default=16,
+                        help="embedding dimension")
+    shards.add_argument("--skew", type=float, default=1.2,
+                        help="bounded-Zipf exponent of the ID stream")
+    shards.add_argument("--batch", type=int, default=4_096,
+                        help="IDs per worker per step")
+    shards.add_argument("--seed", type=int, default=0,
+                        help="seed for the measured traffic")
+    shards.add_argument("--partitions-per-worker", type=int, default=8)
+    shards.add_argument("--hot-candidates", type=int, default=512)
+    shards.add_argument("--replicate-threshold", type=float,
+                        default=0.5)
+    shards.add_argument("--policy", default="planned",
+                        choices=["hash", "planned"],
+                        help="which plan --output writes")
+    shards.add_argument("--output",
+                        help="write the plan as lossless JSON "
+                             "(PlacementPlan.as_dict)")
+    shards.set_defaults(func=cmd_plan_shards)
     return parser
 
 

@@ -41,6 +41,12 @@ class PicassoConfig:
     :param device_memory_budget: GPU bytes available for activations
         when Eq. 2 sizes micro-batches (device memory minus parameters,
         workspace and the hot cache).
+    :param shard_policy: embedding shard placement — ``"hash"`` (naive
+        modulo sharding; exchange priced with the cost model's generic
+        straggler factor) or ``"planned"`` (skew-aware
+        :class:`~repro.embedding.placement.ShardPlanner` placement;
+        the execution plan prices exchanges with the planner's
+        predicted max/mean shard-bytes ratio).
     """
 
     enable_packing: bool = True
@@ -55,6 +61,13 @@ class PicassoConfig:
     excluded_fields: tuple = ()
     device_memory_budget: float = 16.0 * _GIB
     cost: CostModel = field(default_factory=CostModel)
+    shard_policy: str = "hash"
+
+    def __post_init__(self) -> None:
+        if self.shard_policy not in ("hash", "planned"):
+            raise ValueError(
+                f"unknown shard_policy {self.shard_policy!r}; "
+                "expected 'hash' or 'planned'")
 
     @classmethod
     def base(cls) -> "PicassoConfig":

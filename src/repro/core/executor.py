@@ -9,7 +9,7 @@ utilization, PCIe GB/s, network Gbps, breakdowns).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.config import PicassoConfig
 from repro.core.planner import PicassoPlanner

@@ -13,7 +13,7 @@ from __future__ import annotations
 import math
 from collections import defaultdict
 
-from repro.data.spec import DatasetSpec, FieldSpec
+from repro.data.spec import DatasetSpec
 from repro.graph.builder import EmbeddingGroup, WorkloadStats
 
 

@@ -17,6 +17,7 @@ from repro.core.interleaving import (
     estimate_micro_batches,
 )
 from repro.core.packing import pack_by_dimension
+from repro.embedding.placement import predict_imbalance
 from repro.graph.builder import (
     ExecutionPlan,
     WorkloadStats,
@@ -75,6 +76,14 @@ class PicassoPlanner:
                 plan, config.device_memory_budget))
             plan.micro_batches = micro
             plan.micro_batch_scope = config.micro_batch_scope
+
+        if config.shard_policy == "planned" and plan.uses_alltoall \
+                and cluster.num_workers > 1:
+            # Skew-aware placement rebalances the exchange: price the
+            # AllToAllv at the plan's predicted max/mean shard ratio
+            # instead of the generic straggler factor.
+            plan.shard_imbalance = predict_imbalance(
+                dataset.fields, cluster.num_workers, batch_size)
 
         if config.enable_caching:
             cache = expected_hit_ratio(dataset, config.hot_storage_bytes,

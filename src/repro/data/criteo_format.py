@@ -14,7 +14,6 @@ and writes synthetic data *in* the format for round-trip testing.
 
 from __future__ import annotations
 
-import io
 from dataclasses import dataclass
 
 import numpy as np

@@ -8,7 +8,7 @@ the batch's wire size against the network resource, and the real
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

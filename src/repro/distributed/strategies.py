@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.data.loader import Batch
 from repro.distributed.collectives import allreduce_mean
+from repro.embedding.placement import ExchangeLoad, measure_exchange
 from repro.nn.network import WdlNetwork
 from repro.nn.optim import Adagrad, Optimizer
 
@@ -53,18 +54,36 @@ class DataParallelTrainer:
     """
 
     def __init__(self, template: WdlNetwork, workers: int,
-                 optimizer: Optimizer | None = None, allreduce=None):
+                 optimizer: Optimizer | None = None, allreduce=None,
+                 placement_plan=None):
         """:param allreduce: reduction hook ``(arrays) -> mean array``;
         defaults to :func:`~repro.distributed.collectives.allreduce_mean`.
         Pass a bound
         :class:`~repro.distributed.collectives.FaultAwareAllreduce`
-        adapter to train through injected worker failures."""
+        adapter to train through injected worker failures.
+
+        :param placement_plan: optional
+            :class:`~repro.embedding.placement.PlacementPlan`; when
+            set, every step's sparse lookups are priced through the
+            plan and the accumulated per-worker AllToAllv bytes are
+            available via :meth:`exchange_stats` (feed them to
+            :class:`~repro.telemetry.monitor.SkewMonitor`)."""
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
         self.network = template
         self.optimizer = optimizer or Adagrad(lr=0.05)
         self._allreduce = allreduce or allreduce_mean
+        if placement_plan is not None \
+                and placement_plan.num_workers != workers:
+            raise ValueError(
+                "placement plan built for "
+                f"{placement_plan.num_workers} workers, trainer has "
+                f"{workers}")
+        self.placement_plan = placement_plan
+        self._exchange = ExchangeLoad(
+            per_worker_bytes=np.zeros(workers))
+        self._exchange_steps = 0
 
     def train_step(self, batch: Batch) -> float:
         """One synchronous step; returns the mean worker loss.
@@ -75,6 +94,8 @@ class DataParallelTrainer:
         gradient (the equivalence Tab. III relies on).
         """
         shards = _shard_batch(batch, self.workers)
+        if self.placement_plan is not None:
+            self._record_exchange(shards)
         losses = []
         dense_grads = []
         sparse_grads = []
@@ -107,6 +128,31 @@ class DataParallelTrainer:
                             self.network.sparse_tables())
         self.network.zero_grad()
         return float(np.mean(losses))
+
+    def _record_exchange(self, shards) -> None:
+        """Price this step's lookups through the placement plan."""
+        plan = self.placement_plan
+        for name in shards[0].sparse:
+            if name not in plan.fields:
+                continue
+            load = measure_exchange(
+                plan, name, [shard.sparse[name] for shard in shards])
+            self._exchange = self._exchange.merge(load)
+        self._exchange_steps += 1
+
+    def exchange_stats(self) -> dict:
+        """Accumulated plan-priced AllToAllv load over trained steps.
+
+        Empty when no plan is attached or no step has run yet;
+        otherwise the :class:`~repro.embedding.placement.ExchangeLoad`
+        dict plus the step count and plan policy.
+        """
+        if self.placement_plan is None or self._exchange_steps == 0:
+            return {}
+        stats = self._exchange.as_dict()
+        stats["steps"] = self._exchange_steps
+        stats["policy"] = self.placement_plan.policy
+        return stats
 
 
 class ParameterServer:

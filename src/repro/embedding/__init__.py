@@ -11,6 +11,18 @@ from repro.embedding.counter import FrequencyCounter
 from repro.embedding.hybrid_hash import CacheStats, HybridHash
 from repro.embedding.sharding import ShardPlacement, shard_for_id
 from repro.embedding.multilevel import CacheTier, MultiLevelCache
+from repro.embedding.placement import (
+    ExchangeLoad,
+    FieldPlacement,
+    LoadProfile,
+    PlacementPlan,
+    PlannerConfig,
+    ShardPlanner,
+    compare_policies,
+    max_mean_ratio,
+    measure_exchange,
+    predict_imbalance,
+)
 
 __all__ = [
     "EmbeddingTable",
@@ -21,4 +33,14 @@ __all__ = [
     "shard_for_id",
     "CacheTier",
     "MultiLevelCache",
+    "ExchangeLoad",
+    "FieldPlacement",
+    "LoadProfile",
+    "PlacementPlan",
+    "PlannerConfig",
+    "ShardPlanner",
+    "compare_policies",
+    "max_mean_ratio",
+    "measure_exchange",
+    "predict_imbalance",
 ]

@@ -35,6 +35,26 @@ class FrequencyCounter:
             return []
         return [key for key, _count in self._counts.most_common(k)]
 
+    def most_common(self, k: int) -> list:
+        """``[(id, count), ...]`` for the ``k`` most frequent IDs.
+
+        The statistics surface the shard planner's observed
+        :class:`~repro.embedding.placement.LoadProfile` consumes.
+        """
+        if k <= 0:
+            return []
+        return [(int(key), int(count))
+                for key, count in self._counts.most_common(k)]
+
+    def merge(self, other: "FrequencyCounter") -> "FrequencyCounter":
+        """Fold another counter's statistics into this one (in place).
+
+        Lets per-worker counters combine into the global view the
+        planner needs; returns ``self`` for chaining.
+        """
+        self._counts.update(other._counts)
+        return self
+
     def distinct_ids(self) -> int:
         """How many distinct IDs have been observed."""
         return len(self._counts)

@@ -14,7 +14,7 @@ Hot-storage" escape hatch).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

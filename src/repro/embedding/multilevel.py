@@ -11,7 +11,7 @@ Algorithm 1's flush: the hottest rows float to the fastest tier.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

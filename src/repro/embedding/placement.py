@@ -1,0 +1,763 @@
+"""Skew-aware shard placement for model-parallel embedding tables.
+
+Naive hash sharding spreads IDs uniformly over workers, but lookup
+*traffic* follows the Zipf-skewed ID frequencies of Fig. 3: the worker
+that happens to own the hottest IDs serves a disproportionate share of
+every AllToAllv exchange, and the slowest shard gates the collective.
+This module plans placement from frequency statistics instead:
+
+* a :class:`LoadProfile` summarizes one field's expected per-step
+  lookup load — analytically from the bounded-Zipf model of a
+  :class:`~repro.data.spec.FieldSpec`, or empirically from a
+  :class:`~repro.embedding.counter.FrequencyCounter`;
+* a :class:`ShardPlanner` turns profiles into a
+  :class:`PlacementPlan`: IDs hot enough to appear in most workers'
+  batches are *replicated* (served locally everywhere, no exchange),
+  warm IDs get *dedicated* single-row placement, and the cold tail is
+  hash-split into partitions; dedicated rows and tail partitions are
+  packed onto workers by a greedy LPT rule minimizing the predicted
+  max per-worker AllToAllv bytes subject to an HBM footprint budget;
+* :func:`measure_exchange` prices a plan against actual per-worker ID
+  batches, producing the per-worker byte loads the
+  :class:`~repro.telemetry.monitor.SkewMonitor` and the ``shards``
+  benchmark gate on.
+
+Traffic is priced per lookup occurrence (the access-load model of
+RecShard): ``Unique`` deduplicates within one worker's micro-batch,
+but across workers and across slices every occurrence of an ID routes
+one embedding row (forward) and one gradient row (backward) through
+its owner, so per-worker bytes are occurrence counts times row bytes.
+:func:`measure_exchange` can optionally deduplicate within each
+worker's batch to model a perfectly fused per-step ``Unique``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.data.spec import FieldSpec
+from repro.data.synthetic import BoundedZipf
+from repro.embedding.sharding import shard_for_id
+
+_FLOAT_BYTES = 4
+
+#: Placement policies a plan can be built with.
+PLACEMENT_POLICIES = ("hash", "planned")
+
+
+def _as_id_array(ids) -> np.ndarray:
+    return np.asarray(ids, dtype=np.int64).ravel()
+
+
+def _rank_masses(zipf: BoundedZipf, count: int) -> np.ndarray:
+    """Exact sampling probability of ranks ``0..count-1``.
+
+    :meth:`BoundedZipf.sample` draws a continuous rank and floors it,
+    so rank ``k`` carries the CDF mass of ``[k+1, k+2)`` — integrated
+    here directly rather than via the point-mass approximation of
+    :meth:`BoundedZipf.probability`, which overestimates the head and
+    (at high skew) would leave no mass for the tail.
+    """
+    s = zipf.exponent
+    v = float(zipf.vocab_size)
+    edges = np.arange(1, count + 2, dtype=np.float64)
+    if abs(s - 1.0) < 1e-9:
+        cdf = np.log(edges) / np.log(v)
+    else:
+        cdf = (edges ** (1.0 - s) - 1.0) / (v ** (1.0 - s) - 1.0)
+    cdf = np.minimum(cdf, 1.0)
+    return np.diff(cdf)
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """Expected per-step lookup load of one embedding field.
+
+    The hottest ``len(hot_ids)`` IDs are tracked individually; the
+    rest of the vocabulary is summarized as ``tail_weight``.  Weights
+    are expected lookup occurrences per global training step (all
+    workers combined), so they are directly proportional to exchange
+    bytes.
+
+    :param hot_batch_prob: per hot ID, the probability that it appears
+        at least once in a single worker's sub-batch — the replication
+        criterion (an ID requested by most workers every step is
+        cheaper to replicate than to exchange).
+    """
+
+    name: str
+    dim: int
+    vocab_size: int
+    hot_ids: np.ndarray
+    hot_weights: np.ndarray
+    hot_batch_prob: np.ndarray
+    tail_weight: float
+
+    def __post_init__(self) -> None:
+        if self.dim < 1:
+            raise ValueError(f"dim must be >= 1, got {self.dim}")
+        if self.vocab_size < 1:
+            raise ValueError(
+                f"vocab_size must be >= 1, got {self.vocab_size}")
+        if not (len(self.hot_ids) == len(self.hot_weights)
+                == len(self.hot_batch_prob)):
+            raise ValueError("hot id/weight/probability lengths differ")
+        if self.tail_weight < 0:
+            raise ValueError("tail_weight must be >= 0")
+
+    @property
+    def total_weight(self) -> float:
+        """Expected lookups per global step across the whole table."""
+        return float(self.hot_weights.sum()) + self.tail_weight
+
+    @classmethod
+    def from_field(cls, spec: FieldSpec, *, batch_size: int,
+                   num_workers: int,
+                   hot_candidates: int = 512) -> "LoadProfile":
+        """Analytic profile from a field's bounded-Zipf parameters.
+
+        IDs are frequency ranks (rank 0 hottest), matching
+        :class:`~repro.data.synthetic.BoundedZipf` samples.  Streams
+        whose rank-to-ID mapping is permuted (e.g.
+        :class:`~repro.data.synthetic.FieldSampler`) should be planned
+        from observed statistics instead.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        zipf = BoundedZipf(spec.vocab_size, spec.zipf_exponent)
+        count = min(int(hot_candidates), spec.vocab_size)
+        ranks = np.arange(count, dtype=np.int64)
+        probs = _rank_masses(zipf, count)
+        per_worker_ids = batch_size * spec.seq_length
+        total_ids = float(per_worker_ids * num_workers)
+        weights = probs * total_ids
+        batch_prob = 1.0 - (1.0 - np.minimum(probs, 1.0)) ** per_worker_ids
+        tail = max(0.0, (1.0 - float(probs.sum())) * total_ids)
+        return cls(name=spec.name, dim=spec.embedding_dim,
+                   vocab_size=spec.vocab_size, hot_ids=ranks,
+                   hot_weights=weights.astype(np.float64),
+                   hot_batch_prob=batch_prob.astype(np.float64),
+                   tail_weight=tail)
+
+    @classmethod
+    def from_counter(cls, name: str, counter, *, dim: int,
+                     vocab_size: int, batch_size: int, num_workers: int,
+                     hot_candidates: int = 512) -> "LoadProfile":
+        """Observed profile from a ``FrequencyCounter``'s statistics.
+
+        Counts are rescaled so weights are expected occurrences per
+        global step of ``batch_size`` IDs per worker.
+        """
+        total = counter.total_observations()
+        if total <= 0:
+            raise ValueError(f"counter for {name!r} has no observations")
+        items = counter.most_common(hot_candidates)
+        ids = np.array([key for key, _count in items], dtype=np.int64)
+        counts = np.array([count for _key, count in items],
+                          dtype=np.float64)
+        probs = counts / float(total)
+        total_ids = float(batch_size * num_workers)
+        weights = probs * total_ids
+        batch_prob = 1.0 - (1.0 - np.minimum(probs, 1.0)) ** batch_size
+        tail = max(0.0, (1.0 - float(probs.sum())) * total_ids)
+        return cls(name=name, dim=int(dim), vocab_size=int(vocab_size),
+                   hot_ids=ids, hot_weights=weights,
+                   hot_batch_prob=batch_prob, tail_weight=tail)
+
+
+@dataclass
+class FieldPlacement:
+    """Where one field's rows live.
+
+    Ownership is resolved in three steps: replicated IDs are local on
+    every worker (owner ``-1``); dedicated IDs map to their assigned
+    worker; everything else hashes into ``len(tail_owners)`` tail
+    partitions whose owners the planner balanced.
+    """
+
+    name: str
+    dim: int
+    vocab_size: int
+    replicated: np.ndarray
+    dedicated_ids: np.ndarray
+    dedicated_owners: np.ndarray
+    tail_owners: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.replicated = np.sort(_as_id_array(self.replicated))
+        dedicated = _as_id_array(self.dedicated_ids)
+        owners = np.asarray(self.dedicated_owners, dtype=np.int64).ravel()
+        if len(dedicated) != len(owners):
+            raise ValueError("dedicated ids/owners lengths differ")
+        order = np.argsort(dedicated)
+        self.dedicated_ids = dedicated[order]
+        self.dedicated_owners = owners[order]
+        self.tail_owners = np.asarray(self.tail_owners,
+                                      dtype=np.int64).ravel()
+        if len(self.tail_owners) < 1:
+            raise ValueError("tail_owners must not be empty")
+
+    @property
+    def row_bytes(self) -> int:
+        return self.dim * _FLOAT_BYTES
+
+    def owner_of(self, ids) -> np.ndarray:
+        """Owning worker per ID; ``-1`` marks replicated (local) rows."""
+        ids = _as_id_array(ids)
+        partitions = shard_for_id(ids, len(self.tail_owners)) \
+            if ids.size else ids
+        owners = self.tail_owners[partitions] if ids.size \
+            else np.zeros(0, dtype=np.int64)
+        if self.dedicated_ids.size and ids.size:
+            slot = np.searchsorted(self.dedicated_ids, ids)
+            slot = np.minimum(slot, len(self.dedicated_ids) - 1)
+            hit = self.dedicated_ids[slot] == ids
+            owners[hit] = self.dedicated_owners[slot[hit]]
+        if self.replicated.size and ids.size:
+            slot = np.searchsorted(self.replicated, ids)
+            slot = np.minimum(slot, len(self.replicated) - 1)
+            owners[self.replicated[slot] == ids] = -1
+        return owners
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "dim": self.dim,
+            "vocab_size": self.vocab_size,
+            "replicated": [int(value) for value in self.replicated],
+            "dedicated_ids": [int(value)
+                              for value in self.dedicated_ids],
+            "dedicated_owners": [int(value)
+                                 for value in self.dedicated_owners],
+            "tail_owners": [int(value) for value in self.tail_owners],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FieldPlacement":
+        return cls(
+            name=payload["name"],
+            dim=int(payload["dim"]),
+            vocab_size=int(payload["vocab_size"]),
+            replicated=np.array(payload["replicated"], dtype=np.int64),
+            dedicated_ids=np.array(payload["dedicated_ids"],
+                                   dtype=np.int64),
+            dedicated_owners=np.array(payload["dedicated_owners"],
+                                      dtype=np.int64),
+            tail_owners=np.array(payload["tail_owners"],
+                                 dtype=np.int64))
+
+
+@dataclass
+class PlacementPlan:
+    """A full placement: per-field row ownership plus predictions.
+
+    ``predicted_bytes`` / ``predicted_hbm`` are the planner's cost
+    model per worker (AllToAllv bytes per step, resident row bytes);
+    the *measured* counterparts come from :func:`measure_exchange`.
+    """
+
+    num_workers: int
+    policy: str
+    fields: dict = field(default_factory=dict)
+    predicted_bytes: np.ndarray = field(
+        default_factory=lambda: np.zeros(1))
+    predicted_hbm: np.ndarray = field(
+        default_factory=lambda: np.zeros(1))
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if self.policy not in PLACEMENT_POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; "
+                f"expected one of {PLACEMENT_POLICIES}")
+        self.predicted_bytes = np.asarray(self.predicted_bytes,
+                                          dtype=np.float64)
+        self.predicted_hbm = np.asarray(self.predicted_hbm,
+                                        dtype=np.float64)
+
+    def field_placement(self, name: str) -> FieldPlacement:
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise KeyError(
+                f"field {name!r} not in plan; "
+                f"known: {sorted(self.fields)}") from None
+
+    def owner_of(self, field_name: str, ids) -> np.ndarray:
+        """Owning worker per ID for one field (``-1`` = replicated)."""
+        return self.field_placement(field_name).owner_of(ids)
+
+    @property
+    def replicated_rows(self) -> int:
+        """Rows held by *every* worker (hot-ID replication)."""
+        return sum(entry.replicated.size for entry in
+                   self.fields.values())
+
+    def predicted_ratio(self) -> float:
+        """Predicted max/mean per-worker AllToAllv bytes."""
+        return max_mean_ratio(self.predicted_bytes)
+
+    def summary(self) -> dict:
+        """JSON-ready headline numbers for CLI/experiment output."""
+        return {
+            "policy": self.policy,
+            "workers": self.num_workers,
+            "fields": len(self.fields),
+            "replicated_rows": self.replicated_rows,
+            "dedicated_rows": sum(entry.dedicated_ids.size
+                                  for entry in self.fields.values()),
+            "predicted_max_bytes": float(self.predicted_bytes.max())
+            if self.predicted_bytes.size else 0.0,
+            "predicted_ratio": self.predicted_ratio(),
+            "predicted_hbm_max_bytes": float(self.predicted_hbm.max())
+            if self.predicted_hbm.size else 0.0,
+        }
+
+    def as_dict(self) -> dict:
+        """Lossless plain-dict form; round-trips via :meth:`from_dict`."""
+        return {
+            "num_workers": self.num_workers,
+            "policy": self.policy,
+            "fields": {name: entry.as_dict()
+                       for name, entry in sorted(self.fields.items())},
+            "predicted_bytes": [float(value)
+                                for value in self.predicted_bytes],
+            "predicted_hbm": [float(value)
+                              for value in self.predicted_hbm],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PlacementPlan":
+        return cls(
+            num_workers=int(payload["num_workers"]),
+            policy=payload["policy"],
+            fields={name: FieldPlacement.from_dict(entry)
+                    for name, entry in payload["fields"].items()},
+            predicted_bytes=np.array(payload["predicted_bytes"],
+                                     dtype=np.float64),
+            predicted_hbm=np.array(payload["predicted_hbm"],
+                                   dtype=np.float64))
+
+
+def max_mean_ratio(loads) -> float:
+    """Max/mean of a per-worker load vector; 1.0 when perfectly flat.
+
+    An all-zero load (no exchange at all — e.g. every hot row
+    replicated, or a single worker) counts as perfectly balanced.
+    """
+    loads = np.asarray(loads, dtype=np.float64)
+    if loads.size == 0:
+        return 1.0
+    mean = float(loads.mean())
+    if mean <= 0.0:
+        return 1.0
+    return float(loads.max()) / mean
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Knobs of the :class:`ShardPlanner`.
+
+    :param partitions_per_worker: hash partitions of the cold tail per
+        worker; more partitions give the LPT packer finer granularity.
+    :param hot_candidates: IDs tracked individually per field when
+        profiles are built through the planner's convenience paths.
+    :param replicate_threshold: minimum probability of appearing in a
+        single worker's batch for an ID to be replicated; below it hot
+        IDs get dedicated (balanced, but still exchanged) placement.
+    :param max_replicated_per_field: replication budget per field
+        (replicated rows cost ``num_workers`` copies of HBM).
+    :param hbm_budget_bytes: optional per-worker resident-bytes budget
+        the LPT packer respects when it can.
+    """
+
+    partitions_per_worker: int = 8
+    hot_candidates: int = 512
+    replicate_threshold: float = 0.5
+    max_replicated_per_field: int = 1024
+    hbm_budget_bytes: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.partitions_per_worker < 1:
+            raise ValueError("partitions_per_worker must be >= 1")
+        if self.hot_candidates < 0:
+            raise ValueError("hot_candidates must be >= 0")
+        if not 0.0 < self.replicate_threshold <= 1.0:
+            raise ValueError("replicate_threshold must be in (0, 1]")
+        if self.max_replicated_per_field < 0:
+            raise ValueError("max_replicated_per_field must be >= 0")
+
+
+class ShardPlanner:
+    """Builds :class:`PlacementPlan`\\ s from load profiles.
+
+    The packing objective is the predicted max per-worker AllToAllv
+    bytes (the quantity that gates every exchange); HBM footprint is
+    the constraint: items go to the least-loaded worker whose budget
+    still fits them, falling back to the globally least-HBM-loaded
+    worker when nothing fits.
+    """
+
+    def __init__(self, num_workers: int,
+                 config: PlannerConfig | None = None):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = int(num_workers)
+        self.config = config or PlannerConfig()
+
+    # -- profile convenience --------------------------------------------
+
+    def profiles_for_fields(self, specs, batch_size: int) -> list:
+        """Analytic profiles for an iterable of ``FieldSpec``."""
+        return [LoadProfile.from_field(
+            spec, batch_size=batch_size, num_workers=self.num_workers,
+            hot_candidates=self.config.hot_candidates)
+            for spec in specs]
+
+    def plan_fields(self, specs, batch_size: int,
+                    policy: str = "planned") -> PlacementPlan:
+        """Analytic plan straight from field specs."""
+        return self.plan(self.profiles_for_fields(specs, batch_size),
+                         policy=policy)
+
+    # -- planning -------------------------------------------------------
+
+    def plan(self, profiles, policy: str = "planned") -> PlacementPlan:
+        """Produce a placement for the given load profiles.
+
+        ``policy="hash"`` reproduces plain hash sharding (the
+        baseline) through the same :class:`PlacementPlan` interface:
+        tail partition ``p`` belongs to worker ``p % num_workers``,
+        which is bit-identical to
+        :func:`~repro.embedding.sharding.shard_for_id` ownership.
+        """
+        profiles = list(profiles)
+        if not profiles:
+            raise ValueError("at least one load profile is required")
+        names = [profile.name for profile in profiles]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate field names in profiles: {names}")
+        if policy == "hash":
+            return self._hash_plan(profiles)
+        if policy != "planned":
+            raise ValueError(
+                f"unknown policy {policy!r}; "
+                f"expected one of {PLACEMENT_POLICIES}")
+        return self._planned(profiles)
+
+    def _hash_plan(self, profiles) -> PlacementPlan:
+        workers = self.num_workers
+        partitions = self.config.partitions_per_worker * workers
+        owners = np.arange(partitions, dtype=np.int64) % workers
+        fields = {}
+        exchange = np.zeros(workers)
+        hbm = np.zeros(workers)
+        empty = np.zeros(0, dtype=np.int64)
+        for profile in profiles:
+            fields[profile.name] = FieldPlacement(
+                name=profile.name, dim=profile.dim,
+                vocab_size=profile.vocab_size, replicated=empty,
+                dedicated_ids=empty, dedicated_owners=empty,
+                tail_owners=owners.copy())
+            self._accumulate_hash_cost(profile, fields[profile.name],
+                                       exchange, hbm)
+        return PlacementPlan(num_workers=workers, policy="hash",
+                             fields=fields, predicted_bytes=exchange,
+                             predicted_hbm=hbm)
+
+    def _accumulate_hash_cost(self, profile, placement, exchange,
+                              hbm) -> None:
+        """Predicted per-worker cost of hash-sharding one field.
+
+        Hot IDs land on deterministic hash owners, so the prediction
+        reflects the actual (not average-case) imbalance of the hash.
+        """
+        workers = self.num_workers
+        row = profile.dim * _FLOAT_BYTES
+        remote = (workers - 1) / workers if workers > 1 else 0.0
+        if profile.hot_ids.size:
+            owners = placement.owner_of(profile.hot_ids)
+            weights = profile.hot_weights * remote * row
+            np.add.at(exchange, owners, weights)
+            np.add.at(hbm, owners, float(row))
+        exchange += profile.tail_weight * remote * row / workers
+        tail_rows = max(0, profile.vocab_size - profile.hot_ids.size)
+        hbm += tail_rows * row / workers
+
+    def _planned(self, profiles) -> PlacementPlan:
+        config = self.config
+        workers = self.num_workers
+        partitions = config.partitions_per_worker * workers
+        remote = (workers - 1) / workers if workers > 1 else 0.0
+
+        # One packing item per dedicated hot ID and per tail hash
+        # partition, across all fields, so hot fields can lean on the
+        # slack of cold ones.
+        items = []  # (exchange_bytes, hbm_bytes, field, kind, payload)
+        replicated: dict = {}
+        for profile in profiles:
+            row = profile.dim * _FLOAT_BYTES
+            replicate_mask = np.zeros(profile.hot_ids.size, dtype=bool)
+            if workers > 1 and profile.hot_ids.size:
+                replicate_mask = (profile.hot_batch_prob
+                                  >= config.replicate_threshold)
+                budget = config.max_replicated_per_field
+                if replicate_mask.sum() > budget:
+                    # Keep the heaviest IDs inside the budget.
+                    order = np.argsort(-profile.hot_weights)
+                    keep = order[np.isin(
+                        order, np.flatnonzero(replicate_mask))][:budget]
+                    replicate_mask = np.zeros_like(replicate_mask)
+                    replicate_mask[keep] = True
+            replicated[profile.name] = profile.hot_ids[replicate_mask]
+            for index in np.flatnonzero(~replicate_mask):
+                items.append((
+                    float(profile.hot_weights[index]) * remote * row,
+                    float(row), profile.name, "id",
+                    int(profile.hot_ids[index])))
+            tail_rows = max(0, profile.vocab_size - profile.hot_ids.size)
+            per_partition_bytes = (profile.tail_weight * remote * row
+                                   / partitions)
+            per_partition_hbm = tail_rows * row / partitions
+            for part in range(partitions):
+                items.append((per_partition_bytes, per_partition_hbm,
+                              profile.name, "tail", part))
+
+        assignment = self._lpt_pack(items)
+
+        fields = {}
+        exchange = np.zeros(workers)
+        hbm = np.zeros(workers)
+        empty = np.zeros(0, dtype=np.int64)
+        for profile in profiles:
+            row = profile.dim * _FLOAT_BYTES
+            dedicated_ids = []
+            dedicated_owners = []
+            tail_owners = np.zeros(partitions, dtype=np.int64)
+            for (cost, mem, name, kind, payload), worker in assignment:
+                if name != profile.name:
+                    continue
+                if kind == "id":
+                    dedicated_ids.append(payload)
+                    dedicated_owners.append(worker)
+                else:
+                    tail_owners[payload] = worker
+                exchange[worker] += cost
+                hbm[worker] += mem
+            hbm += replicated[profile.name].size * float(row)
+            fields[profile.name] = FieldPlacement(
+                name=profile.name, dim=profile.dim,
+                vocab_size=profile.vocab_size,
+                replicated=replicated[profile.name],
+                dedicated_ids=np.array(dedicated_ids or empty,
+                                       dtype=np.int64),
+                dedicated_owners=np.array(dedicated_owners or empty,
+                                          dtype=np.int64),
+                tail_owners=tail_owners)
+        return PlacementPlan(num_workers=workers, policy="planned",
+                             fields=fields, predicted_bytes=exchange,
+                             predicted_hbm=hbm)
+
+    def _lpt_pack(self, items) -> list:
+        """Greedy LPT: heaviest item first onto the least-loaded worker.
+
+        Returns ``[(item, worker), ...]``.  The load is predicted
+        exchange bytes; the HBM budget (when configured) vetoes
+        workers that would overflow, unless every worker would.
+        """
+        budget = self.config.hbm_budget_bytes
+        # Sort by descending cost; index breaks ties deterministically.
+        order = sorted(range(len(items)),
+                       key=lambda i: (-items[i][0], i))
+        # Heap entries are (exchange load, HBM load at push, worker):
+        # equal exchange loads (e.g. many zero-cost cold partitions)
+        # tie-break onto the least-memory-loaded worker instead of
+        # piling onto one.
+        heap = [(0.0, 0.0, worker) for worker in range(self.num_workers)]
+        heapq.heapify(heap)
+        hbm = np.zeros(self.num_workers)
+        assignment = []
+        for index in order:
+            item = items[index]
+            cost, mem = item[0], item[1]
+            popped = []
+            chosen = None
+            while heap:
+                load, _pushed_hbm, worker = heapq.heappop(heap)
+                if budget is None or hbm[worker] + mem <= budget:
+                    chosen = (load, worker)
+                    break
+                popped.append((load, hbm[worker], worker))
+            if chosen is None:
+                # Nothing fits: overflow onto the least-HBM worker.
+                worker = int(np.argmin(hbm))
+                entry = next((e for e in popped if e[2] == worker),
+                             popped[0])
+                popped.remove(entry)
+                chosen = (entry[0], entry[2])
+            for entry in popped:
+                heapq.heappush(heap, entry)
+            load, worker = chosen
+            hbm[worker] += mem
+            heapq.heappush(heap, (load + cost, hbm[worker], worker))
+            assignment.append((item, worker))
+        return assignment
+
+
+@dataclass(frozen=True)
+class ExchangeLoad:
+    """Measured per-worker AllToAllv bytes of one (or more) steps."""
+
+    per_worker_bytes: np.ndarray
+    local_bytes: float = 0.0
+    replicated_bytes: float = 0.0
+
+    @property
+    def total_bytes(self) -> float:
+        return float(self.per_worker_bytes.sum())
+
+    @property
+    def max_bytes(self) -> float:
+        return float(self.per_worker_bytes.max()) \
+            if self.per_worker_bytes.size else 0.0
+
+    @property
+    def mean_bytes(self) -> float:
+        return float(self.per_worker_bytes.mean()) \
+            if self.per_worker_bytes.size else 0.0
+
+    @property
+    def max_mean_ratio(self) -> float:
+        return max_mean_ratio(self.per_worker_bytes)
+
+    def merge(self, other: "ExchangeLoad") -> "ExchangeLoad":
+        """Combine loads from multiple steps/fields (element-wise)."""
+        if len(self.per_worker_bytes) != len(other.per_worker_bytes):
+            raise ValueError("cannot merge loads of different widths")
+        return ExchangeLoad(
+            per_worker_bytes=self.per_worker_bytes
+            + other.per_worker_bytes,
+            local_bytes=self.local_bytes + other.local_bytes,
+            replicated_bytes=self.replicated_bytes
+            + other.replicated_bytes)
+
+    def as_dict(self) -> dict:
+        return {
+            "per_worker_bytes": [float(value)
+                                 for value in self.per_worker_bytes],
+            "local_bytes": self.local_bytes,
+            "replicated_bytes": self.replicated_bytes,
+            "total_bytes": self.total_bytes,
+            "max_bytes": self.max_bytes,
+            "mean_bytes": self.mean_bytes,
+            "max_mean_ratio": self.max_mean_ratio,
+        }
+
+
+def measure_exchange(plan: PlacementPlan, field_name: str, batches,
+                     dedupe: bool = False) -> ExchangeLoad:
+    """Price one field's AllToAllv under ``plan`` on real sub-batches.
+
+    ``batches`` holds one ID array per worker (the worker's share of
+    the global batch).  Each remote lookup occurrence charges one
+    embedding row to the *owning* worker's send volume; lookups the
+    requesting worker owns, and lookups of replicated rows, move no
+    bytes.  With ``dedupe=True`` each distinct ID counts once per
+    requesting worker (a perfectly fused per-step ``Unique``).
+    """
+    batches = list(batches)
+    if len(batches) != plan.num_workers:
+        raise ValueError(
+            f"expected {plan.num_workers} per-worker batches, "
+            f"got {len(batches)}")
+    placement = plan.field_placement(field_name)
+    row = placement.row_bytes
+    per_worker = np.zeros(plan.num_workers)
+    local = 0.0
+    replicated = 0.0
+    for worker, ids in enumerate(batches):
+        ids = _as_id_array(ids)
+        if ids.size == 0:
+            continue
+        unique, counts = np.unique(ids, return_counts=True)
+        weights = np.ones_like(counts, dtype=np.float64) if dedupe \
+            else counts.astype(np.float64)
+        owners = placement.owner_of(unique)
+        replicated += float(weights[owners == -1].sum()) * row
+        local += float(weights[owners == worker].sum()) * row
+        mask = (owners >= 0) & (owners != worker)
+        np.add.at(per_worker, owners[mask], weights[mask] * row)
+    return ExchangeLoad(per_worker_bytes=per_worker, local_bytes=local,
+                        replicated_bytes=replicated)
+
+
+def predict_imbalance(fields, num_workers: int, batch_size: int,
+                      policy: str = "planned",
+                      config: PlannerConfig | None = None) -> float:
+    """Predicted AllToAllv max/mean shard-bytes ratio for a dataset.
+
+    This is the analytic hook :class:`~repro.core.planner.PicassoPlanner`
+    uses to price exchanges: it plans the dataset's fields under
+    ``policy`` and returns the resulting predicted ratio (>= 1.0).
+    Fields with identical ``(vocab, dim, seq, zipf)`` shape produce
+    identical profiles — and, under hash sharding, identical hot-ID
+    owners — so each distinct shape is planned once with its load
+    scaled by multiplicity, keeping wide datasets (hundreds of fields)
+    cheap to plan.
+    """
+    if num_workers < 2:
+        return 1.0
+    groups: dict = {}
+    for spec in fields:
+        key = (spec.vocab_size, spec.embedding_dim, spec.seq_length,
+               spec.zipf_exponent)
+        entry = groups.setdefault(key, [spec, 0])
+        entry[1] += 1
+    if not groups:
+        return 1.0
+    planner = ShardPlanner(num_workers, config)
+    profiles = []
+    for spec, count in groups.values():
+        profile = LoadProfile.from_field(
+            spec, batch_size=batch_size, num_workers=num_workers,
+            hot_candidates=planner.config.hot_candidates)
+        if count > 1:
+            profile = replace(
+                profile, hot_weights=profile.hot_weights * count,
+                tail_weight=profile.tail_weight * count)
+        profiles.append(profile)
+    return max(1.0, planner.plan(profiles, policy=policy)
+               .predicted_ratio())
+
+
+def compare_policies(profiles, batches_by_field, num_workers: int,
+                     config: PlannerConfig | None = None,
+                     dedupe: bool = False) -> dict:
+    """Hash vs planned placement on the same measured traffic.
+
+    Returns ``{"hash": ExchangeLoad, "planned": ExchangeLoad,
+    "plans": {...}}`` with loads summed across fields — the single
+    comparison the ``shards`` bench, the experiment table and the
+    acceptance tests all reduce to.
+    """
+    profiles = list(profiles)
+    planner = ShardPlanner(num_workers, config)
+    result: dict = {"plans": {}}
+    for policy in PLACEMENT_POLICIES:
+        plan = planner.plan(profiles, policy=policy)
+        combined = ExchangeLoad(
+            per_worker_bytes=np.zeros(num_workers))
+        for profile in profiles:
+            load = measure_exchange(plan, profile.name,
+                                    batches_by_field[profile.name],
+                                    dedupe=dedupe)
+            combined = combined.merge(load)
+        result[policy] = combined
+        result["plans"][policy] = plan
+    return result

@@ -8,16 +8,14 @@ Tab. III; production model batch sizes follow Tab. VII's XDL column.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 from repro.api import RunConfig
 from repro.api import run as run_config
 from repro.core import PicassoConfig
-from repro.core.executor import RunReport, simulate_plan
+from repro.core.executor import RunReport
 from repro.data import alibaba, criteo, product1, product2, product3
 from repro.data.spec import DatasetSpec, FieldSpec
 from repro.graph.builder import WorkloadStats
-from repro.hardware import eflops_cluster, gn6e_cluster
 from repro.models import can, dien, din, dlrm, deepfm, mmoe, wide_deep
 
 #: Per-GPU batch sizes used in the Tab. III benchmark comparison.

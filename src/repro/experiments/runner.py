@@ -23,6 +23,7 @@ from repro.experiments import (
     fig15_scaling,
     monitor_health,
     serving_latency,
+    shard_placement,
     tab03_auc,
     tab04_ablation,
     tab05_op_counts,
@@ -78,6 +79,8 @@ EXPERIMENTS = [
      lambda: serving_latency.run_serving_latency()),
     ("Fault recovery goodput",
      lambda: fault_recovery.run_fault_recovery()),
+    ("Shard placement skew sweep",
+     lambda: shard_placement.run_shard_placement()),
     ("Run-health monitors",
      lambda: monitor_health.run_monitor_health()),
     ("Overlap-ratio ablation",

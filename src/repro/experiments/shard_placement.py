@@ -1,0 +1,85 @@
+"""Shard-placement study (ROADMAP extension, not a paper table): how
+much skew-aware placement rebalances the embedding AllToAllv.
+
+PICASSO's hybrid strategy makes embeddings model-parallel, so the
+slowest shard gates every exchange; under the Zipf skew of Fig. 3,
+hash sharding concentrates the hottest IDs on a few workers.  Each
+cell of the skew x workers sweep samples the *same* seeded bounded-
+Zipf traffic per worker and prices it twice through
+:func:`~repro.embedding.placement.compare_policies` — once under plain
+hash ownership, once under the
+:class:`~repro.embedding.placement.ShardPlanner`'s replicate/dedicate/
+LPT placement — reporting the measured max/mean per-worker exchange
+bytes of both and the planner's cut:
+
+* ``hash_ratio`` grows with skew (hotter heads, fewer owners) and
+  with worker count (more shards for the same head to unbalance);
+* ``planned_ratio`` stays near 1.0: replication removes the head from
+  the exchange entirely and LPT balances what remains;
+* ``ratio_cut_pct`` is the headline number the ``shards`` bench gates
+  (>= 25% on the Zipf(1.2) x 8-worker cell).
+
+The table is a pure function of the seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.spec import FieldSpec
+from repro.data.synthetic import BoundedZipf
+from repro.embedding.placement import ShardPlanner, compare_policies
+
+#: Zipf exponents swept (Fig. 3's production skew sits near 1.2).
+SKEWS = (1.05, 1.2, 1.4)
+
+#: Worker counts swept (the acceptance cell is 8).
+WORKER_COUNTS = (4, 8, 16)
+
+
+def _field_specs(vocab_size: int, num_fields: int, dim: int,
+                 skew: float) -> list:
+    return [FieldSpec(name=f"f{index}", vocab_size=vocab_size,
+                      embedding_dim=dim, zipf_exponent=skew)
+            for index in range(num_fields)]
+
+
+def run_shard_placement(vocab_size: int = 50_000, num_fields: int = 4,
+                        dim: int = 16, per_worker_batch: int = 4_096,
+                        seed: int = 0, skews=SKEWS,
+                        worker_counts=WORKER_COUNTS) -> list:
+    """The skew x workers x policy table; one row per swept cell."""
+    rows = []
+    for skew in skews:
+        specs = _field_specs(vocab_size, num_fields, dim, skew)
+        sampler = BoundedZipf(vocab_size=vocab_size, exponent=skew)
+        for workers in worker_counts:
+            planner = ShardPlanner(workers)
+            profiles = planner.profiles_for_fields(
+                specs, per_worker_batch)
+            rng = np.random.default_rng(seed)
+            batches = {
+                spec.name: [sampler.sample(per_worker_batch, rng)
+                            for _worker in range(workers)]
+                for spec in specs
+            }
+            result = compare_policies(profiles, batches, workers)
+            hash_load = result["hash"]
+            planned_load = result["planned"]
+            planned_plan = result["plans"]["planned"]
+            hash_ratio = hash_load.max_mean_ratio
+            planned_ratio = planned_load.max_mean_ratio
+            rows.append({
+                "skew": f"{skew:g}",
+                "workers": workers,
+                "hash_ratio": round(hash_ratio, 3),
+                "planned_ratio": round(planned_ratio, 3),
+                "ratio_cut_pct": round(
+                    (1.0 - planned_ratio / hash_ratio) * 100, 1),
+                "max_bytes_cut_pct": round(
+                    (1.0 - planned_load.max_bytes
+                     / hash_load.max_bytes) * 100, 1)
+                if hash_load.max_bytes > 0 else 0.0,
+                "replicated_rows": planned_plan.replicated_rows,
+            })
+    return rows

@@ -24,7 +24,6 @@ import math
 
 from repro.faults.plan import FaultPlan
 from repro.sim.resource import (
-    COMMUNICATION_KINDS,
     COMPUTE_KINDS,
     ResourceKind,
 )

@@ -59,11 +59,11 @@ class FaultEvent:
                 f"duration_s must be >= 0, got {self.duration_s}")
         if self.kind == "straggler" and self.severity < 1.0:
             raise ValueError(
-                f"straggler severity is a slowdown factor >= 1, "
+                "straggler severity is a slowdown factor >= 1, "
                 f"got {self.severity}")
         if self.kind == "link_degrade" and not 0.0 < self.severity <= 1.0:
             raise ValueError(
-                f"link_degrade severity is a capacity fraction in "
+                "link_degrade severity is a capacity fraction in "
                 f"(0, 1], got {self.severity}")
 
     @property

@@ -13,8 +13,7 @@ the way the paper's single-cluster methodology does.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 from repro.data.spec import DatasetSpec, FieldSpec
 from repro.data.loader import batch_wire_bytes
@@ -24,7 +23,6 @@ from repro.graph.op import Op, OpKind, efficiency_capped_rate
 from repro.hardware.topology import ClusterSpec
 from repro.models.base import (
     InteractionKind,
-    InteractionModuleSpec,
     ModelSpec,
     MODULE_MICRO_OPS,
     interaction_flops_per_instance,
@@ -116,7 +114,7 @@ class EmbeddingGroup:
             raise ValueError(f"group {self.name!r} has no fields")
         if not 0 < self.shard_fraction <= 1.0:
             raise ValueError(
-                f"shard_fraction must be in (0, 1], got "
+                "shard_fraction must be in (0, 1], got "
                 f"{self.shard_fraction}")
 
     @property
@@ -224,6 +222,12 @@ class ExecutionPlan:
     io_compression: float = 1.0
     launch_scale: float = 1.0
     cost: CostModel = field(default_factory=CostModel)
+    #: Max/mean per-worker AllToAllv shard bytes from a
+    #: :class:`~repro.embedding.placement.PlacementPlan`.  ``None``
+    #: falls back to the cost model's generic ``straggler_factor``;
+    #: a planner-supplied value prices the embedding exchanges with
+    #: the placement's actual (im)balance — the gating shard.
+    shard_imbalance: float | None = None
 
     def __post_init__(self) -> None:
         known = {"ps-async", "ps-sync", "mp", "dp", "hybrid"}
@@ -241,6 +245,20 @@ class ExecutionPlan:
         if self.cache_hit_ratio is not None and not (
                 0.0 <= self.cache_hit_ratio <= 1.0):
             raise ValueError("cache_hit_ratio must be in [0, 1]")
+        if self.shard_imbalance is not None and self.shard_imbalance < 1.0:
+            raise ValueError("shard_imbalance must be >= 1.0")
+
+    def exchange_factor(self) -> float:
+        """Inflation applied to AllToAllv exchange bytes.
+
+        The collective completes when the most-loaded shard does, so
+        exchanges are priced at the max (not mean) per-worker bytes:
+        the placement plan's measured max/mean ratio when available,
+        else the cost model's generic straggler factor.
+        """
+        if self.shard_imbalance is not None:
+            return self.shard_imbalance
+        return self.cost.straggler_factor
 
     @property
     def uses_alltoall(self) -> bool:
@@ -343,7 +361,6 @@ class IterationGraphBuilder:
         plan = self.plan
         wire = batch_wire_bytes(plan.model.dataset, plan.batch_size) \
             * plan.io_compression
-        cost = plan.cost
         op = Op(
             name=f"it{index}/io",
             kind=OpKind.IO_READ,
@@ -514,7 +531,7 @@ class IterationGraphBuilder:
         comm_op = None
         if plan.uses_alltoall and self._workers > 1:
             remote_bytes = emb_bytes * (self._workers - 1) / self._workers
-            remote_bytes *= cost.straggler_factor
+            remote_bytes *= plan.exchange_factor()
             if plan.fuse_kernels:
                 comm_op = Op(
                     name=f"{prefix}/{group.name}/shuffle_stitch",
@@ -621,7 +638,7 @@ class IterationGraphBuilder:
 
         if plan.uses_alltoall and self._workers > 1:
             remote = emb_bytes * (self._workers - 1) / self._workers
-            remote *= plan.cost.straggler_factor
+            remote *= plan.exchange_factor()
             back_op = Op(
                 name=f"{prefix}/{group.name}/grad_shuffle",
                 kind=OpKind.ALLTOALL,

@@ -11,7 +11,7 @@ K-Interleaving exploits.
 from __future__ import annotations
 
 from repro.graph.graph import Graph
-from repro.graph.op import Op, kernel_group
+from repro.graph.op import Op
 
 #: Fused kernels keep roughly this share of their constituents'
 #: framework micro-ops (matches the builder's hand-fused chains).

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.sim.resource import Phase, ResourceKind
+from repro.sim.resource import ResourceKind
 
 
 class OpKind:

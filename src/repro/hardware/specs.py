@@ -13,7 +13,7 @@ saturation) only depends on achievable throughput ratios.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 def gbps(value: float) -> float:

@@ -9,10 +9,10 @@ graph builder, the standard approximation for dense layers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 
-from repro.data.spec import DatasetSpec, FieldSpec
+from repro.data.spec import DatasetSpec
 
 
 class InteractionKind(str, Enum):

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.layers import Dense, sigmoid
+from repro.nn.layers import sigmoid
 
 
 def dot_interaction(fields: np.ndarray) -> np.ndarray:

@@ -16,7 +16,7 @@ pipelines the slices so embedding fetch overlaps dense compute.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 #: Same clamp as ``repro.core.interleaving.estimate_micro_batches``.
 MAX_MICRO_BATCHES = 8

@@ -28,7 +28,7 @@ determines every reported metric.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -40,8 +40,7 @@ from repro.embedding.table import EmbeddingTable
 from repro.hardware.specs import NVME_SSD, MemorySpec
 from repro.hardware.topology import GN6E_NODE, NodeSpec
 from repro.nn.network import WdlNetwork
-from repro.serving.batcher import ClosedBatch, MicroBatcher, \
-    plan_micro_batches
+from repro.serving.batcher import MicroBatcher, plan_micro_batches
 from repro.serving.metrics import ServingMetrics, ServingReport
 from repro.serving.slo import SloConfig, SloPolicy
 from repro.serving.traffic import TrafficGenerator

@@ -12,7 +12,7 @@ runs, spending capacity only on requests that can still make the SLO.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

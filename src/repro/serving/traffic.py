@@ -17,7 +17,7 @@ rather than the process-randomized builtin ``hash``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

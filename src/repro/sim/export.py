@@ -11,8 +11,6 @@ import json
 
 from repro.sim.engine import SimResult
 from repro.sim.metrics import utilization_timeline
-from repro.sim.resource import ResourceKind
-from repro.sim.trace import TraceRecorder
 
 #: Glyph ramp for ASCII utilization levels (empty .. saturated).
 _RAMP = " .:-=+*#%@"

@@ -9,7 +9,7 @@ task places on a single resource; tasks execute their phases in order.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 
 

@@ -30,6 +30,7 @@ from repro.telemetry.monitor import (
     MonitorReport,
     OverlapMonitor,
     PulseDetector,
+    SkewMonitor,
     SloBurnRateMonitor,
     UtilizationPhase,
     emit_alerts,
@@ -66,6 +67,7 @@ __all__ = [
     "PathStep",
     "PulseDetector",
     "RollingWindow",
+    "SkewMonitor",
     "SloBurnRateMonitor",
     "Span",
     "Stats",

@@ -22,7 +22,7 @@ from __future__ import annotations
 import json
 
 from repro.sim.metrics import DEFAULT_BUCKET_SECONDS, utilization_timeline
-from repro.sim.trace import TaskRecord, TraceRecorder
+from repro.sim.trace import TraceRecorder
 from repro.telemetry.span import Tracer
 
 #: Event phases this exporter emits (subset of the Trace Event Format).

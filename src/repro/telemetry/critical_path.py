@@ -25,7 +25,6 @@ from repro.sim.resource import (
     MEMORY_KINDS,
     ResourceKind,
 )
-from repro.sim.trace import TaskRecord
 
 #: Ranking label for inter-op queueing gaps on the path.
 WAIT_LABEL = "(queue wait)"

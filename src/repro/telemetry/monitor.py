@@ -17,7 +17,11 @@ can assert on run *health*, not just run *speed*:
   cache's per-iteration hit-ratio stream (EWMA level, flush
   effectiveness around ``flush_iters``);
 * :class:`SloBurnRateMonitor` converts serving completions into
-  windowed SLO-violation burn rates against an error budget.
+  windowed SLO-violation burn rates against an error budget;
+* :class:`SkewMonitor` reduces per-worker AllToAllv shard bytes (an
+  :class:`~repro.embedding.placement.ExchangeLoad`) to the max/mean
+  ratio that gates every exchange, alerting when hot-ID skew leaves
+  one shard dominating the collective.
 
 :func:`emit_alerts` injects the alerts into a
 :class:`~repro.telemetry.span.Tracer` as instant events, so they show
@@ -26,7 +30,7 @@ up on the Chrome trace exactly where the run went unhealthy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.sim.metrics import (
     DEFAULT_BUCKET_SECONDS,
@@ -41,6 +45,7 @@ from repro.sim.resource import (
     COMPUTE_KINDS,
     MEMORY_KINDS,
 )
+from repro.embedding.placement import max_mean_ratio
 from repro.telemetry.timeseries import Ewma
 
 #: Track name alert instants are filed under in the Chrome trace.
@@ -458,6 +463,69 @@ class SloBurnRateMonitor:
             "worst_window_start_s": (worst_index * self.window_s
                                      if worst_index is not None else 0.0),
             "alert_windows": len(alerts),
+        }
+        return MonitorReport(
+            monitor=self.name,
+            healthy=not alerts,
+            summary=summary,
+            alerts=tuple(alerts))
+
+
+class SkewMonitor:
+    """Shard-load balance of the embedding AllToAllv exchange.
+
+    Consumes per-worker exchange bytes — an
+    :class:`~repro.embedding.placement.ExchangeLoad` (measured by
+    :func:`~repro.embedding.placement.measure_exchange` or accumulated
+    by a plan-backed
+    :class:`~repro.distributed.strategies.DataParallelTrainer`) or any
+    per-worker byte sequence — and reports the max/mean shard-bytes
+    ratio.  The collective completes when its most-loaded shard does,
+    so a ratio of 2.0 means the exchange runs at half the balanced
+    throughput; ratios above ``max_ratio`` raise an alert naming the
+    hottest worker.
+    """
+
+    name = "skew"
+
+    def __init__(self, max_ratio: float = 1.5):
+        if max_ratio < 1.0:
+            raise ValueError(
+                f"max_ratio must be >= 1.0, got {max_ratio}")
+        self.max_ratio = float(max_ratio)
+
+    def analyze(self, load, time_s: float = 0.0) -> MonitorReport:
+        """Reduce one exchange load to balance numbers + skew alert."""
+        per_worker = [float(value) for value in
+                      getattr(load, "per_worker_bytes", load)]
+        ratio = max_mean_ratio(per_worker)
+        max_bytes = max(per_worker) if per_worker else 0.0
+        total = sum(per_worker)
+        mean = total / len(per_worker) if per_worker else 0.0
+        hottest = per_worker.index(max_bytes) if per_worker else -1
+        alerts = []
+        if ratio > self.max_ratio:
+            alerts.append(Alert(
+                time_s=float(time_s),
+                monitor=self.name,
+                severity=("critical" if ratio > 2 * self.max_ratio
+                          else "warning"),
+                message=(f"shard-bytes max/mean {ratio:.2f} exceeds "
+                         f"{self.max_ratio:.2f}: worker {hottest} "
+                         f"carries {max_bytes:.0f} of "
+                         f"{total:.0f} exchanged bytes"),
+                value=ratio,
+                threshold=self.max_ratio))
+        summary = {
+            "workers": len(per_worker),
+            "total_bytes": total,
+            "max_bytes": max_bytes,
+            "mean_bytes": mean,
+            "max_mean_ratio": ratio,
+            "hottest_worker": hottest,
+            "local_bytes": float(getattr(load, "local_bytes", 0.0)),
+            "replicated_bytes": float(
+                getattr(load, "replicated_bytes", 0.0)),
         }
         return MonitorReport(
             monitor=self.name,

@@ -3,8 +3,6 @@
 import pytest
 
 from repro.baselines import (
-    Framework,
-    FrameworkProfile,
     HOROVOD,
     PYTORCH,
     TF_PS,

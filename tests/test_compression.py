@@ -5,7 +5,6 @@ import pytest
 
 from repro.distributed.compression import (
     ErrorFeedbackCompressor,
-    QuantizedTensor,
     compressed_allreduce_mean,
     compression_ratio,
     dequantize,
@@ -33,8 +32,7 @@ class TestQuantize:
 
     def test_stochastic_rounding_unbiased(self):
         tensor = np.full(20_000, 0.3)
-        quantized = quantize(tensor * 10, bits=2,
-                             rng=np.random.default_rng(3))
+        quantize(tensor * 10, bits=2, rng=np.random.default_rng(3))
         # With min=max the span is zero... use a spanning tensor.
         tensor = np.concatenate([np.zeros(1), np.full(50_000, 0.37),
                                  np.ones(1)])

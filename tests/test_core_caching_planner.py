@@ -6,7 +6,7 @@ from repro.core import PicassoConfig, PicassoPlanner
 from repro.core.caching import batch_size_penalty, expected_hit_ratio
 from repro.data import criteo, product1
 from repro.hardware import eflops_cluster
-from repro.models import dlrm, wide_deep
+from repro.models import wide_deep
 
 _GIB = float(1 << 30)
 

@@ -15,7 +15,7 @@ from repro.graph.builder import (
     groups_per_field,
 )
 from repro.hardware import eflops_cluster
-from repro.models import dlrm, can
+from repro.models import dlrm
 
 
 def _plan(batch=4096, micro=1):

@@ -50,7 +50,6 @@ class TestPackByDimension:
     def test_fields_partitioned_exactly_once(self):
         dataset = product1(0.001)
         groups = pack_by_dimension(dataset, 1000)
-        names = [spec.name for group in groups for spec in group.fields]
         # Sharded packs repeat field sets with fractional shares, so
         # count distinct names weighted by shard fractions instead.
         weights = {}

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.data import criteo, product1
+from repro.data import criteo
 from repro.graph import (
     EmbeddingGroup,
     ExecutionPlan,
@@ -140,7 +140,6 @@ class TestGraphConstruction:
                     if op.kind == "segment_reduce"]
 
     def test_sequence_dataset_gets_segment_reduce(self):
-        model = wide_deep(product1(0.001))
         from repro.data import alibaba
         seq_model = wide_deep(alibaba(0.001))
         plan = _plan(seq_model)

@@ -12,7 +12,6 @@ from repro.hardware import (
     gn6e_cluster,
 )
 from repro.hardware.specs import LinkSpec, gbps, gib, gbytes_per_s
-from repro.hardware.topology import ClusterSpec
 
 
 class TestUnitHelpers:

@@ -4,7 +4,6 @@ These exercise the same paths the paper's evaluation uses: plan ->
 graph -> simulate -> metrics, plus cache-in-the-loop and real training.
 """
 
-import numpy as np
 import pytest
 
 from repro.baselines import framework_by_name

@@ -1,6 +1,5 @@
 """Tests for the experiment runner registry and report plumbing."""
 
-import io
 
 import pytest
 

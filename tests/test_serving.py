@@ -15,7 +15,6 @@ from repro.serving import (
     build_tiers,
     default_serving_dataset,
     plan_micro_batches,
-    serve_trace,
     simulate_serving,
 )
 from repro.serving.batcher import MAX_MICRO_BATCHES

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.sim import Engine, Phase, Resource, ResourceKind, SimTask
+from repro.sim import Phase, Resource, ResourceKind, SimTask
 from repro.sim.resource import (
     COMMUNICATION_KINDS,
     COMPUTE_KINDS,
