@@ -12,6 +12,9 @@ single replacement:
   the usual :class:`~repro.core.executor.RunReport`;
 * :class:`ServeConfig` / :func:`serve` are the serving-side mirror,
   wrapping :func:`~repro.serving.server.simulate_serving`;
+* :class:`StreamConfig` / :func:`stream` close the loop: continuous
+  training with delta-snapshot publishes hot-swapped into serving,
+  wrapping :func:`~repro.online.loop.simulate_stream`;
 * :func:`profile` runs with telemetry on, returning the report plus a
   ready :class:`~repro.telemetry.CriticalPathReport` and Chrome-trace
   payload.
@@ -39,8 +42,10 @@ from repro.hardware import eflops_cluster, gn6e_cluster
 from repro.hardware.topology import ClusterSpec
 from repro.models import MODEL_BUILDERS
 from repro.models.base import ModelSpec
+from repro.online.loop import StreamReport, simulate_stream
 from repro.serving.metrics import ServingReport
 from repro.serving.server import CACHE_KINDS, simulate_serving
+from repro.serving.traffic import RateShape, shape_from_dict
 from repro.telemetry import (
     CriticalPathReport,
     OverlapMonitor,
@@ -340,6 +345,136 @@ def serve(config: ServeConfig, tracer=None,
         variant=config.variant,
         replicas=config.replicas,
         fault_plan=config.fault_plan,
+        tracer=tracer,
+        metrics=metrics)
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """A declarative continuous-loop request — the third facade leg.
+
+    Field for field the knobs of
+    :func:`~repro.online.loop.simulate_stream`: the serving half reads
+    like a :class:`ServeConfig`, the training half configures the
+    streaming trainer (step cadence, publish interval, concept drift)
+    and the loop half the hot-swap and autoscaling machinery.
+    """
+
+    requests: int = 4_000
+    seed: int = 0
+    rate_qps: float = 20_000.0
+    shape: RateShape | None = None
+    train_steps: int = 400
+    train_step_s: float = 0.001
+    train_batch_size: int = 256
+    publish_interval: int = 25
+    drift_ids_per_step: float = 8.0
+    max_chain: int = 8
+    load_share: float = 0.1
+    snapshot_dir: str | None = None
+    cache: str = "hbm-dram"
+    hot_rows: int = 4_000
+    warm_rows: int = 60_000
+    max_batch_size: int = 64
+    max_wait_s: float = 0.002
+    slo_s: float = 0.02
+    micro_batch_rows: int = 16
+    autoscale: bool = True
+    min_replicas: int = 1
+    max_replicas: int = 4
+    hot_swaps: bool = True
+    variant: str = "wdl"
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ValueError("requests must be >= 1")
+        if self.train_steps < 1:
+            raise ValueError("train_steps must be >= 1")
+        if self.publish_interval < 1:
+            raise ValueError("publish_interval must be >= 1")
+        if self.cache not in CACHE_KINDS:
+            raise ValueError(f"unknown cache {self.cache!r}; "
+                             f"expected one of {CACHE_KINDS}")
+
+    def with_overrides(self, **changes) -> "StreamConfig":
+        """A copy with some fields replaced (sweeps, ablations)."""
+        return replace(self, **changes)
+
+    def as_dict(self) -> dict:
+        """Plain-dict snapshot; round-trips through :meth:`from_dict`."""
+        return {
+            "requests": self.requests,
+            "seed": self.seed,
+            "rate_qps": self.rate_qps,
+            "shape": (self.shape.as_dict()
+                      if self.shape is not None else None),
+            "train_steps": self.train_steps,
+            "train_step_s": self.train_step_s,
+            "train_batch_size": self.train_batch_size,
+            "publish_interval": self.publish_interval,
+            "drift_ids_per_step": self.drift_ids_per_step,
+            "max_chain": self.max_chain,
+            "load_share": self.load_share,
+            "snapshot_dir": self.snapshot_dir,
+            "cache": self.cache,
+            "hot_rows": self.hot_rows,
+            "warm_rows": self.warm_rows,
+            "max_batch_size": self.max_batch_size,
+            "max_wait_s": self.max_wait_s,
+            "slo_s": self.slo_s,
+            "micro_batch_rows": self.micro_batch_rows,
+            "autoscale": self.autoscale,
+            "min_replicas": self.min_replicas,
+            "max_replicas": self.max_replicas,
+            "hot_swaps": self.hot_swaps,
+            "variant": self.variant,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StreamConfig":
+        """Rebuild a config from :meth:`as_dict` output."""
+        known = {spec.name for spec in dataclass_fields(cls)}
+        settings = {key: value for key, value in payload.items()
+                    if key in known}
+        shape = settings.get("shape")
+        if isinstance(shape, dict):
+            settings["shape"] = shape_from_dict(shape)
+        return cls(**settings)
+
+
+def stream(config: StreamConfig, tracer=None,
+           metrics=None) -> StreamReport:
+    """Execute one :class:`StreamConfig`; the continuous-loop facade.
+
+    The train->publish->swap->serve loop of
+    :func:`~repro.online.loop.simulate_stream` behind the same
+    config-in / report-out contract as :func:`run` and :func:`serve`.
+    """
+    return simulate_stream(
+        num_requests=config.requests,
+        seed=config.seed,
+        rate_qps=config.rate_qps,
+        shape=config.shape,
+        train_steps=config.train_steps,
+        train_step_s=config.train_step_s,
+        train_batch_size=config.train_batch_size,
+        publish_interval=config.publish_interval,
+        drift_ids_per_step=config.drift_ids_per_step,
+        max_chain=config.max_chain,
+        load_share=config.load_share,
+        snapshot_dir=config.snapshot_dir,
+        cache=config.cache,
+        hot_rows=config.hot_rows,
+        warm_rows=config.warm_rows,
+        max_batch_size=config.max_batch_size,
+        max_wait_s=config.max_wait_s,
+        slo_s=config.slo_s,
+        micro_batch_rows=config.micro_batch_rows,
+        autoscale=config.autoscale,
+        min_replicas=config.min_replicas,
+        max_replicas=config.max_replicas,
+        hot_swaps=config.hot_swaps,
+        variant=config.variant,
         tracer=tracer,
         metrics=metrics)
 

@@ -20,7 +20,12 @@ Each benchmark is one deterministic, CI-sized workload reduced to a
   acceptance workload (Zipf(1.2), 8 workers): measured max/mean
   per-worker AllToAllv bytes under both policies and the planner's
   ratio cut, gated so a placement regression that re-skews the
-  exchange (or drops the cut below 25%) fails CI.
+  exchange (or drops the cut below 25%) fails CI;
+* ``online`` — the continuous train->publish->swap->serve loop under a
+  flash crowd, against a no-swap replay of the same trace: goodput,
+  swap-pause p99, model staleness and delta compression, gated so a
+  swap that starts dropping requests (or a delta format that bloats
+  past 1/5th of a full checkpoint) fails CI.
 
 Workloads are deliberately small (seconds each): the gate's job is
 catching regressions on every PR, not measuring peak numbers.
@@ -30,7 +35,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.api import RunConfig, ServeConfig, profile, serve
+from repro.api import RunConfig, ServeConfig, StreamConfig, profile, \
+    serve, stream
 from repro.bench.snapshot import BenchSnapshot
 from repro.core import PicassoConfig
 from repro.data import BoundedZipf
@@ -42,6 +48,7 @@ from repro.experiments.fault_recovery import run_fault_recovery
 from repro.faults import FaultPlan
 from repro.serving.metrics import ServingMetrics
 from repro.serving.server import simulate_serving
+from repro.serving.traffic import FlashCrowdShape
 from repro.telemetry import (
     CacheHealthMonitor,
     SkewMonitor,
@@ -359,6 +366,78 @@ def bench_shards() -> BenchSnapshot:
         tolerances=tolerances)
 
 
+def bench_online() -> BenchSnapshot:
+    """The continuous loop under a flash crowd, vs a no-swap replay.
+
+    One trace, two runs: hot swaps on (the product) and hot swaps off
+    (the control serving frozen initial weights).  The gate holds the
+    loop to its contract: zero swap-attributed sheds, served p99
+    within 10% of the no-swap run, and delta snapshots at least 5x
+    smaller than a full checkpoint.
+    """
+    config = dict(requests=2_000, seed=0, rate_qps=20_000.0,
+                  flash_start_s=0.02, flash_duration_s=0.03,
+                  flash_multiplier=3.0, train_steps=120,
+                  train_step_ms=1.0, train_batch=128,
+                  publish_interval=10, drift_ids_per_step=8.0,
+                  slo_ms=20.0, max_replicas=4)
+    base = StreamConfig(
+        requests=config["requests"], seed=config["seed"],
+        rate_qps=config["rate_qps"],
+        shape=FlashCrowdShape(start_s=config["flash_start_s"],
+                              duration_s=config["flash_duration_s"],
+                              multiplier=config["flash_multiplier"]),
+        train_steps=config["train_steps"],
+        train_step_s=config["train_step_ms"] * 1e-3,
+        train_batch_size=config["train_batch"],
+        publish_interval=config["publish_interval"],
+        drift_ids_per_step=config["drift_ids_per_step"],
+        slo_s=config["slo_ms"] * 1e-3,
+        max_replicas=config["max_replicas"])
+    swapped = stream(base)
+    frozen = stream(base.with_overrides(hot_swaps=False))
+    p99_ratio = (swapped.serving.p99_ms / frozen.serving.p99_ms
+                 if frozen.serving.p99_ms > 0 else 1.0)
+    metrics = {
+        "served": swapped.serving.served,
+        "shed": swapped.serving.shed,
+        "goodput_qps": swapped.goodput_qps,
+        "p99_ms": swapped.serving.p99_ms,
+        "p99_ms_noswap": frozen.serving.p99_ms,
+        "p99_swap_ratio": p99_ratio,
+        "publishes": swapped.publishes,
+        "swaps": swapped.swaps,
+        "swap_pause_p99_ms": swapped.swap_pause_p99_ms,
+        "swap_attributed_shed": swapped.swap_attributed_shed,
+        "staleness_mean_s": swapped.staleness_mean_s,
+        "staleness_max_s": swapped.staleness_max_s,
+        "delta_compression": swapped.delta_compression,
+        "full_snapshot_bytes": swapped.full_snapshot_bytes,
+    }
+    tolerances = {
+        "served": 0.0,
+        "shed": 0.0,
+        "publishes": 0.0,
+        "swaps": 0.0,
+        "swap_attributed_shed": 0.0,
+        "full_snapshot_bytes": 0.0,
+        "goodput_qps": 0.05,
+        "p99_ms": 0.05,
+        "p99_ms_noswap": 0.05,
+        "p99_swap_ratio": 0.05,
+        "swap_pause_p99_ms": 0.05,
+        "staleness_mean_s": 0.05,
+        "staleness_max_s": 0.05,
+        "delta_compression": 0.05,
+    }
+    return BenchSnapshot(
+        name="online",
+        config=config,
+        metrics=metrics,
+        monitors=dict(swapped.controls),
+        tolerances=tolerances)
+
+
 #: Name -> builder for every benchmark ``repro bench run`` knows.
 BENCHES = {
     "training": bench_training,
@@ -367,6 +446,7 @@ BENCHES = {
     "cache": bench_cache,
     "faults": bench_faults,
     "shards": bench_shards,
+    "online": bench_online,
 }
 
 

@@ -9,6 +9,9 @@ Commands:
 * ``experiment`` — run one table/figure harness by id.
 * ``gantt`` — ASCII utilization timeline of a simulated run.
 * ``serve`` — online inference serving simulation with SLO metrics.
+* ``stream`` — the continuous loop: streaming training publishes
+  delta snapshots that hot-swap into serving under live traffic,
+  with SLO-burn-rate autoscaling.
 * ``profile`` — run one workload with telemetry on, write a
   Chrome-trace JSON (loads in Perfetto) and print the critical path
   plus run-health monitor verdicts.
@@ -33,7 +36,7 @@ import sys
 import numpy as np
 
 from repro import api
-from repro.api import RunConfig, ServeConfig
+from repro.api import RunConfig, ServeConfig, StreamConfig
 from repro.faults import FaultPlan
 from repro.bench import (
     BENCHES,
@@ -54,7 +57,7 @@ from repro.embedding.placement import (
 from repro.experiments import runner as experiment_runner
 from repro.experiments.common import format_table, mini_criteo
 from repro.models import MODEL_BUILDERS
-from repro.serving import CACHE_KINDS
+from repro.serving import CACHE_KINDS, DiurnalShape, FlashCrowdShape
 from repro.sim.export import ascii_gantt
 from repro.telemetry import (
     format_critical_path,
@@ -214,6 +217,56 @@ def cmd_serve(args) -> int:
               f"{degraded['replicas']}, "
               f"{degraded['tightened_shed']} request(s) shed by "
               "tightened admission")
+    return 0
+
+
+def _stream_shape(args):
+    """Build the optional rate shape from the ``stream`` flags."""
+    if args.shape == "none":
+        return None
+    if args.shape == "diurnal":
+        return DiurnalShape(period_s=args.shape_period_s,
+                            amplitude=args.shape_amplitude)
+    return FlashCrowdShape(start_s=args.flash_start_s,
+                           duration_s=args.flash_duration_s,
+                           multiplier=args.flash_multiplier)
+
+
+def cmd_stream(args) -> int:
+    try:
+        config = StreamConfig(
+            requests=args.requests, seed=args.seed, rate_qps=args.rate,
+            shape=_stream_shape(args), train_steps=args.train_steps,
+            train_step_s=args.train_step_ms / 1e3,
+            train_batch_size=args.train_batch,
+            publish_interval=args.publish_interval,
+            drift_ids_per_step=args.drift, max_chain=args.max_chain,
+            snapshot_dir=args.snapshot_dir, cache=args.cache,
+            slo_s=args.slo_ms / 1e3,
+            autoscale=not args.no_autoscale,
+            max_replicas=args.max_replicas,
+            hot_swaps=not args.no_swaps)
+    except ValueError as error:
+        raise SystemExit(str(error))
+    report = api.stream(config)
+    print(f"streaming {config.train_steps}-step trainer "
+          f"(publish every {config.publish_interval}) against "
+          f"{config.requests} requests @ {config.rate_qps:,.0f} qps "
+          f"(seed={config.seed})")
+    print(format_table([report.row()], list(report.row())))
+    print(f"publishes={report.publishes} swaps={report.swaps} "
+          f"(skipped {report.skipped_versions} stale version(s)), "
+          f"swap pause p99 {report.swap_pause_p99_ms:.3f} ms, "
+          f"{report.swap_attributed_shed} swap-attributed shed(s)")
+    if report.delta_compression > 0:
+        print(f"snapshots: full {report.full_snapshot_bytes:,} B, "
+              f"delta mean {report.delta_snapshot_bytes_mean:,.0f} B "
+              f"({report.delta_compression:.1f}x smaller)")
+    scaling = report.controls.get("ReplicaAutoscaler")
+    if scaling is not None:
+        print(f"autoscaler: {scaling['scale_ups']} up / "
+              f"{scaling['scale_downs']} down, peak "
+              f"{scaling['max_replicas_seen']} replica(s)")
     return 0
 
 
@@ -423,6 +476,44 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--fault-seed", type=int, default=0,
                        help="seed for the generated fault plan")
     serve.set_defaults(func=cmd_serve)
+
+    stream = sub.add_parser(
+        "stream",
+        help="continuous loop: stream-train, publish deltas, hot-swap")
+    stream.add_argument("--requests", type=int, default=4_000)
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--rate", type=float, default=20_000.0,
+                        help="mean arrival rate in requests/second")
+    stream.add_argument("--shape", default="none",
+                        choices=["none", "diurnal", "flash"],
+                        help="rate shape over the trace")
+    stream.add_argument("--shape-period-s", type=float, default=0.2,
+                        help="diurnal cycle length (modeled seconds)")
+    stream.add_argument("--shape-amplitude", type=float, default=0.5)
+    stream.add_argument("--flash-start-s", type=float, default=0.05)
+    stream.add_argument("--flash-duration-s", type=float, default=0.05)
+    stream.add_argument("--flash-multiplier", type=float, default=3.0)
+    stream.add_argument("--train-steps", type=int, default=400)
+    stream.add_argument("--train-step-ms", type=float, default=1.0,
+                        help="modeled duration of one trainer step")
+    stream.add_argument("--train-batch", type=int, default=256)
+    stream.add_argument("--publish-interval", type=int, default=25,
+                        help="trainer steps between snapshot publishes")
+    stream.add_argument("--drift", type=float, default=8.0,
+                        help="hot-ID window rotation per step")
+    stream.add_argument("--max-chain", type=int, default=8,
+                        help="deltas per full base before compaction")
+    stream.add_argument("--snapshot-dir",
+                        help="keep snapshots here (default: temp dir)")
+    stream.add_argument("--cache", default="hbm-dram",
+                        choices=CACHE_KINDS)
+    stream.add_argument("--slo-ms", type=float, default=20.0)
+    stream.add_argument("--max-replicas", type=int, default=4)
+    stream.add_argument("--no-autoscale", action="store_true")
+    stream.add_argument("--no-swaps", action="store_true",
+                        help="freeze serving on the initial weights "
+                             "(no-swap baseline)")
+    stream.set_defaults(func=cmd_stream)
 
     gantt = sub.add_parser("gantt", help="ASCII utilization timeline")
     add_sim_args(gantt)

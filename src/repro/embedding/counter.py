@@ -31,20 +31,25 @@ class FrequencyCounter:
 
     def top_k(self, k: int) -> list:
         """The ``k`` most frequent IDs (most frequent first)."""
-        if k <= 0:
-            return []
-        return [key for key, _count in self._counts.most_common(k)]
+        return [key for key, _count in self.most_common(k)]
 
     def most_common(self, k: int) -> list:
         """``[(id, count), ...]`` for the ``k`` most frequent IDs.
 
         The statistics surface the shard planner's observed
-        :class:`~repro.embedding.placement.LoadProfile` consumes.
+        :class:`~repro.embedding.placement.LoadProfile` and the
+        delta-snapshot hot-row ordering consume.  Count ties break
+        deterministically on the smaller ID: ``Counter.most_common``
+        falls back to insertion order, which depends on the batch
+        arrival interleaving, so hot-set membership at the boundary
+        would otherwise differ between runs that saw the same
+        multiset of IDs in different orders.
         """
         if k <= 0:
             return []
-        return [(int(key), int(count))
-                for key, count in self._counts.most_common(k)]
+        ordered = sorted(self._counts.items(),
+                         key=lambda item: (-item[1], item[0]))
+        return [(int(key), int(count)) for key, count in ordered[:k]]
 
     def merge(self, other: "FrequencyCounter") -> "FrequencyCounter":
         """Fold another counter's statistics into this one (in place).

@@ -24,6 +24,7 @@ from repro.experiments import (
     monitor_health,
     serving_latency,
     shard_placement,
+    staleness_auc,
     tab03_auc,
     tab04_ablation,
     tab05_op_counts,
@@ -81,6 +82,8 @@ EXPERIMENTS = [
      lambda: fault_recovery.run_fault_recovery()),
     ("Shard placement skew sweep",
      lambda: shard_placement.run_shard_placement()),
+    ("Staleness vs AUC (publish cadence)",
+     lambda: staleness_auc.run_staleness_auc()),
     ("Run-health monitors",
      lambda: monitor_health.run_monitor_health()),
     ("Overlap-ratio ablation",

@@ -1,0 +1,155 @@
+"""SLO-burn-rate-driven replica autoscaling.
+
+The serving-side control loop every production recommender runs: watch
+the fraction of requests violating the latency SLO per time window
+(normalized by the error budget — the *burn rate* of
+:class:`~repro.telemetry.monitor.SloBurnRateMonitor`), add a replica
+when the budget burns too fast, retire one when traffic ebbs.
+
+:class:`ReplicaAutoscaler` reuses the monitor's exact window/budget
+arithmetic so an alert on the telemetry side and a scale-up on the
+control side are the same event seen twice.  Capacity feeds back into
+the simulation through the duck-typed ``service_factor`` hook (shared
+with :class:`~repro.faults.degraded.DegradedModeController`): ``R``
+replicas split the load, so modeled service time scales by ``1 / R``.
+
+Scaling is deliberately conservative — one replica per decision, with
+a cooldown — because the burn-rate signal lags capacity changes by a
+window; an eager controller oscillates (the classic autoscaler
+flapping failure mode) and ends up *worse* than static provisioning.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.monitor import SloBurnRateMonitor
+
+
+class ReplicaAutoscaler:
+    """Scale replicas on windowed SLO burn rate, with cooldown.
+
+    :param monitor: supplies the SLO, error budget and window width;
+        a window's burn rate is computed exactly as its
+        :meth:`~repro.telemetry.monitor.SloBurnRateMonitor.analyze`
+        does per window.
+    :param min_replicas / max_replicas: capacity bounds.
+    :param scale_up_burn: burn rate above which a replica is added.
+    :param scale_down_burn: burn rate below which one is retired
+        (must be < ``scale_up_burn`` — the gap is the hysteresis band).
+    :param cooldown_windows: windows to hold after any change before
+        the next decision may fire.
+    """
+
+    def __init__(self, monitor: SloBurnRateMonitor,
+                 min_replicas: int = 1, max_replicas: int = 8,
+                 scale_up_burn: float = 1.0,
+                 scale_down_burn: float = 0.25,
+                 cooldown_windows: int = 2):
+        if not 1 <= min_replicas <= max_replicas:
+            raise ValueError(
+                f"need 1 <= min_replicas <= max_replicas, got "
+                f"[{min_replicas}, {max_replicas}]")
+        if not 0.0 <= scale_down_burn < scale_up_burn:
+            raise ValueError(
+                f"need 0 <= scale_down_burn < scale_up_burn, got "
+                f"{scale_down_burn} vs {scale_up_burn}")
+        if cooldown_windows < 0:
+            raise ValueError("cooldown_windows must be >= 0, got "
+                             f"{cooldown_windows}")
+        self.monitor = monitor
+        self.min_replicas = int(min_replicas)
+        self.max_replicas = int(max_replicas)
+        self.scale_up_burn = float(scale_up_burn)
+        self.scale_down_burn = float(scale_down_burn)
+        self.cooldown_windows = int(cooldown_windows)
+        self.replicas = self.min_replicas
+        #: ``(window_start_s, replicas_after_decision)`` per decision.
+        self.timeline: list = [(0.0, self.replicas)]
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self._window: dict = {}  # open window index -> [viol, total]
+        self._decided_through = -1
+        self._cooldown_left = 0
+        self._replica_windows = 0
+
+    # -- event intake --------------------------------------------------------
+
+    def observe(self, when_s: float, latency_s: float | None) -> None:
+        """Record one request outcome (``latency_s=None`` = shed).
+
+        Events must arrive in nondecreasing window order overall (the
+        serving loop emits them batch by batch); call
+        :meth:`settle` to close windows strictly before the current
+        modeled time.
+        """
+        violated = (latency_s is None
+                    or latency_s > self.monitor.slo_ms * 1e-3)
+        index = int(when_s // self.monitor.window_s)
+        window = self._window.setdefault(index, [0, 0])
+        window[0] += 1 if violated else 0
+        window[1] += 1
+
+    def settle(self, now_s: float) -> int:
+        """Decide every window that closed before ``now_s``.
+
+        Returns the replica count in force after the decisions; empty
+        windows (no traffic) count toward cooldown but never scale.
+        """
+        closed = int(now_s // self.monitor.window_s) - 1
+        for index in range(self._decided_through + 1, closed + 1):
+            violations, total = self._window.pop(index, (0, 0))
+            self._decide(index, violations, total)
+        self._decided_through = max(self._decided_through, closed)
+        return self.replicas
+
+    def finalize(self) -> int:
+        """Decide all remaining open windows (end of trace)."""
+        for index in sorted(self._window):
+            if index <= self._decided_through:
+                continue
+            violations, total = self._window[index]
+            self._decide(index, violations, total)
+            self._decided_through = index
+        self._window.clear()
+        return self.replicas
+
+    # -- the control law -----------------------------------------------------
+
+    def _decide(self, index: int, violations: int, total: int) -> None:
+        self._replica_windows += self.replicas
+        if self._cooldown_left > 0:
+            self._cooldown_left -= 1
+            return
+        if total == 0:
+            return
+        burn = (violations / total) / self.monitor.budget
+        if burn > self.scale_up_burn and self.replicas < self.max_replicas:
+            self.replicas += 1
+            self.scale_ups += 1
+        elif (burn < self.scale_down_burn
+              and self.replicas > self.min_replicas):
+            self.replicas -= 1
+            self.scale_downs += 1
+        else:
+            return
+        self._cooldown_left = self.cooldown_windows
+        self.timeline.append(
+            (index * self.monitor.window_s, self.replicas))
+
+    # -- serve-controller hooks ----------------------------------------------
+
+    def service_factor(self, t: float) -> float:
+        """Perfect load splitting: ``R`` replicas, ``1/R`` the time."""
+        return 1.0 / self.replicas
+
+    def summary(self) -> dict:
+        """JSON-ready account of the scaling activity."""
+        return {
+            "replicas": self.replicas,
+            "max_replicas_seen": max(count for _t, count in self.timeline),
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "decisions": len(self.timeline) - 1,
+            "mean_replicas": (self._replica_windows
+                              / max(1, self._decided_through + 1)),
+            "timeline": [list(entry) for entry in self.timeline],
+        }

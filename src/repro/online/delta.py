@@ -1,0 +1,169 @@
+"""Incremental embedding-delta snapshots: ship only what changed.
+
+A full checkpoint of a production recommender is dominated by its
+embedding tables, yet between two publishes a streaming trainer only
+touches the rows its recent batches looked up — under Zipf-skewed
+traffic a small, hot subset of the vocabulary.  A
+:class:`DeltaSnapshot` therefore carries *changed rows only* (per-table
+``(row_indices, new_values)`` pairs) plus the full dense parameters
+(MLP weights are a rounding error next to the tables), layered on top
+of a full :func:`~repro.training.checkpoint.save_checkpoint` base.
+
+Rows are ordered hot-first using the trainer's per-table
+:class:`~repro.embedding.counter.FrequencyCounter` statistics (ties
+broken by row index, so the ordering is seed-stable): a serving
+replica that applies a delta front-to-back repairs the rows carrying
+the most traffic mass first, which is exactly the Hotline-style
+"hot IDs ship first" prioritization (arXiv 2204.05436).
+
+Applying a base checkpoint plus every delta published since reproduces
+the trainer's weights **bitwise** at the publish step — the invariant
+the hot-swap serving path builds on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.network import WdlNetwork
+from repro.training.checkpoint import atomic_savez
+
+_DENSE_PREFIX = "dense/"
+_ROWS_PREFIX = "rows/"
+_VALUES_PREFIX = "values/"
+
+
+@dataclass(frozen=True)
+class DeltaSnapshot:
+    """Changed-rows-only diff between two published model states.
+
+    :param version: this snapshot's registry version.
+    :param base_version: the version this delta applies on top of (its
+        immediate predecessor in the publish chain).
+    :param step: the trainer step the delta was captured at.
+    :param tables: field name -> ``(rows, values)``; ``rows`` is an
+        int64 array of table row indices (hot rows first), ``values``
+        the corresponding ``(len(rows), dim)`` weight rows.
+    :param dense: dense parameter name -> full value array.
+    """
+
+    version: int
+    base_version: int
+    step: int
+    tables: dict
+    dense: dict
+
+    def changed_rows(self) -> int:
+        """Total embedding rows carried across all tables."""
+        return sum(rows.size for rows, _values in self.tables.values())
+
+    def nbytes(self) -> int:
+        """Serialized payload size (indices + row values + dense)."""
+        total = 0
+        for rows, values in self.tables.values():
+            total += rows.nbytes + values.nbytes
+        for value in self.dense.values():
+            total += value.nbytes
+        return total
+
+
+def _hot_first(rows: np.ndarray, counter) -> np.ndarray:
+    """Order ``rows`` hottest-first by a counter's statistics.
+
+    Sorts on ``(-count, row)`` — the same deterministic tie-break as
+    :meth:`~repro.embedding.counter.FrequencyCounter.most_common` — so
+    two trainers that observed the same row multiset emit deltas with
+    identical byte layouts.
+    """
+    if counter is None:
+        return np.sort(rows)
+    counts = np.array([counter.count(int(row)) for row in rows])
+    order = np.lexsort((rows, -counts))
+    return rows[order]
+
+
+def capture_delta(network: WdlNetwork, dirty_rows: dict, version: int,
+                  base_version: int, step: int,
+                  counters: dict | None = None) -> DeltaSnapshot:
+    """Snapshot the current values of the dirty rows (plus dense).
+
+    :param dirty_rows: field name -> iterable of table row indices
+        touched since the previous publish (the streaming trainer
+        accumulates these from each step's sparse gradients).
+    :param counters: optional field name ->
+        :class:`~repro.embedding.counter.FrequencyCounter` of observed
+        *rows*; when given, each table's rows are ordered hot-first.
+    """
+    counters = counters or {}
+    tables = {}
+    for field_name, table in network.embeddings.items():
+        rows = np.unique(np.asarray(
+            list(dirty_rows.get(field_name, ())), dtype=np.int64))
+        rows = _hot_first(rows, counters.get(field_name))
+        tables[field_name] = (rows, table.table[rows].copy())
+    dense = {name: value.copy()
+             for name, (value, _grad) in network.parameters().items()}
+    return DeltaSnapshot(version=version, base_version=base_version,
+                         step=step, tables=tables, dense=dense)
+
+
+def apply_delta(network: WdlNetwork, delta: DeltaSnapshot) -> None:
+    """Overwrite the network's changed rows + dense params in place."""
+    for field_name, (rows, values) in delta.tables.items():
+        table = network.embeddings[field_name]
+        if rows.size and int(rows.max()) >= table.vocab_rows:
+            raise ValueError(
+                f"delta row {int(rows.max())} out of range for table "
+                f"{field_name} ({table.vocab_rows} rows)")
+        table.table[rows] = values
+    for name, (value, _grad) in network.parameters().items():
+        if name in delta.dense:
+            value[:] = delta.dense[name]
+
+
+def save_delta(delta: DeltaSnapshot, path) -> Path:
+    """Serialize a delta to ``path`` (.npz), atomically."""
+    arrays = {}
+    for field_name, (rows, values) in delta.tables.items():
+        arrays[f"{_ROWS_PREFIX}{field_name}"] = rows
+        arrays[f"{_VALUES_PREFIX}{field_name}"] = values
+    for name, value in delta.dense.items():
+        arrays[f"{_DENSE_PREFIX}{name}"] = value
+    header = {"version": delta.version,
+              "base_version": delta.base_version,
+              "step": delta.step}
+    arrays["__header__"] = np.frombuffer(
+        json.dumps(header).encode(), dtype=np.uint8)
+    return atomic_savez(path, **arrays)
+
+
+def load_delta(path) -> DeltaSnapshot:
+    """Rebuild a :class:`DeltaSnapshot` written by :func:`save_delta`."""
+    path = Path(path)
+    if not path.exists():
+        with_suffix = path.with_name(path.name + ".npz")
+        if with_suffix.exists():
+            path = with_suffix
+        else:
+            raise FileNotFoundError(
+                f"no delta snapshot at {path} or {with_suffix}")
+    with np.load(path) as archive:
+        header = json.loads(bytes(archive["__header__"]).decode())
+        tables = {}
+        dense = {}
+        for key in archive.files:
+            if key.startswith(_ROWS_PREFIX):
+                field_name = key[len(_ROWS_PREFIX):]
+                tables[field_name] = (
+                    archive[key],
+                    archive[f"{_VALUES_PREFIX}{field_name}"])
+            elif key.startswith(_DENSE_PREFIX):
+                dense[key[len(_DENSE_PREFIX):]] = archive[key]
+    return DeltaSnapshot(version=int(header["version"]),
+                         base_version=int(header["base_version"]),
+                         step=int(header["step"]),
+                         tables=tables, dense=dense)

@@ -1,0 +1,122 @@
+"""An infinite Zipf-drifting labeled event stream (concept drift).
+
+Offline iterators (:class:`~repro.data.labeled.LabeledBatchIterator`)
+draw every batch from one frozen distribution, which is exactly what a
+*continuous* training loop cannot assume: in production the hot items
+of an hour ago are not the hot items of now (new content, campaigns,
+time of day).  :class:`DriftingStream` models that as a rotating
+bounded-Zipf head: ranks are still Zipf-distributed, but the
+rank -> ID mapping advances by ``drift_ids_per_step`` IDs every step,
+so probability mass continuously migrates onto IDs the model has never
+(or long ago) seen.  Labels stay a fixed function of the raw ID (the
+world's preferences per item do not churn, *which* items get traffic
+does), so a model's AUC on the live stream decays exactly as fast as
+its embedding table goes stale — the signal the ``staleness_auc``
+experiment measures.
+
+Batches are randomly addressable: ``batch(step)`` derives its
+generator from ``(seed, step)``, so the trainer, a prequential
+evaluator and a replayer all see byte-identical events without
+coordinating a shared cursor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.labeled import latent_effect
+from repro.data.loader import Batch
+from repro.data.spec import DatasetSpec
+from repro.data.synthetic import BoundedZipf, stable_field_hash
+
+
+class DriftingStream:
+    """Deterministic random-access stream of labeled, drifting batches.
+
+    :param dataset: feature schema (fields define vocab and skew).
+    :param batch_size: instances per batch.
+    :param drift_ids_per_step: how many IDs the hot window slides per
+        step; 0 reduces to a stationary stream.
+    :param noise_scale: label-noise standard deviation (as in
+        :class:`~repro.data.labeled.LabeledBatchIterator`).
+    :param signal_scale: latent-logit multiplier (AUC ceiling).
+    :param seed: one seed reproduces the entire infinite stream.
+    """
+
+    def __init__(self, dataset: DatasetSpec, batch_size: int,
+                 drift_ids_per_step: float = 0.0,
+                 noise_scale: float = 0.6, signal_scale: float = 2.0,
+                 seed: int = 0):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if drift_ids_per_step < 0:
+            raise ValueError("drift_ids_per_step must be >= 0, got "
+                             f"{drift_ids_per_step}")
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.drift_ids_per_step = float(drift_ids_per_step)
+        self.noise_scale = float(noise_scale)
+        self.signal_scale = float(signal_scale)
+        self.seed = int(seed)
+        self._zipf = {
+            spec.name: BoundedZipf(spec.vocab_size, spec.zipf_exponent)
+            for spec in dataset.fields
+        }
+        self._field_salt = {
+            spec.name: index + 1
+            for index, spec in enumerate(dataset.fields)
+        }
+
+    def drift_offset(self, step: int) -> int:
+        """How far the hot window has rotated by ``step`` (in IDs)."""
+        return int(self.drift_ids_per_step * step)
+
+    def _field_ids(self, spec, step: int,
+                   rng: np.random.Generator) -> np.ndarray:
+        """Sample one field's IDs for the batch at ``step``.
+
+        Rank 0 maps to a field-specific base offset (as in
+        :class:`~repro.data.synthetic.FieldSampler`) *plus* the drift
+        rotation, so each step's hottest IDs sit a little further
+        around the vocabulary ring.
+        """
+        ranks = self._zipf[spec.name].sample(
+            self.batch_size * spec.seq_length, rng)
+        base = stable_field_hash(spec.name) % spec.vocab_size
+        return (ranks + base + self.drift_offset(step)) % spec.vocab_size
+
+    def batch(self, step: int) -> Batch:
+        """The labeled batch at stream position ``step`` (>= 0)."""
+        if step < 0:
+            raise ValueError(f"step must be >= 0, got {step}")
+        rng = np.random.default_rng((self.seed, step))
+        sparse = {}
+        logits = np.zeros(self.batch_size)
+        for spec in self.dataset.fields:
+            ids = self._field_ids(spec, step, rng)
+            sparse[spec.name] = ids
+            effects = latent_effect(ids, self._field_salt[spec.name])
+            if spec.seq_length > 1:
+                effects = effects.reshape(
+                    self.batch_size, spec.seq_length).mean(axis=1)
+            logits += effects / max(
+                1.0, np.sqrt(self.dataset.num_fields))
+        numeric = rng.standard_normal(
+            (self.batch_size, self.dataset.num_numeric)
+        ).astype(np.float32)
+        if self.dataset.num_numeric:
+            weights = latent_effect(
+                np.arange(self.dataset.num_numeric), salt=999)
+            logits += numeric.astype(np.float64) @ weights * 0.2
+        logits *= self.signal_scale
+        logits += rng.standard_normal(self.batch_size) * self.noise_scale
+        probabilities = 1.0 / (1.0 + np.exp(-logits))
+        labels = (rng.random(self.batch_size)
+                  < probabilities).astype(np.float32)
+        return Batch(batch_size=self.batch_size, sparse=sparse,
+                     numeric=numeric, labels=labels)
+
+    def batches(self, count: int, start: int = 0):
+        """Yield ``count`` consecutive batches from ``start``."""
+        for step in range(start, start + count):
+            yield self.batch(step)

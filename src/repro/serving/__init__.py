@@ -23,13 +23,23 @@ from repro.serving.server import (
     simulate_serving,
 )
 from repro.serving.slo import SloConfig, SloPolicy
-from repro.serving.traffic import Request, TrafficGenerator
+from repro.serving.traffic import (
+    DiurnalShape,
+    FlashCrowdShape,
+    RateShape,
+    Request,
+    TrafficGenerator,
+    shape_from_dict,
+)
 
 __all__ = [
     "CACHE_KINDS",
     "ClosedBatch",
+    "DiurnalShape",
+    "FlashCrowdShape",
     "MicroBatcher",
     "ModelServer",
+    "RateShape",
     "Request",
     "ServingMetrics",
     "ServingReport",
@@ -40,5 +50,6 @@ __all__ = [
     "default_serving_dataset",
     "plan_micro_batches",
     "serve_trace",
+    "shape_from_dict",
     "simulate_serving",
 ]

@@ -14,6 +14,8 @@ guarantee on.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 
 import numpy as np
@@ -23,10 +25,29 @@ from repro.nn.network import WdlNetwork
 _OPT_PREFIX = "opt/"
 
 
+def resolve_checkpoint_path(path) -> Path:
+    """The on-disk path a checkpoint lands at (``.npz`` appended).
+
+    Mirrors ``numpy.savez``'s extension handling so callers that need
+    the final name (publishers, registries, size accounting) agree
+    with what :func:`save_checkpoint` actually writes.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
 def save_checkpoint(network: WdlNetwork, path, step: int = 0,
                     metadata: dict | None = None,
                     optimizer=None) -> None:
     """Serialize a network's full trainable state to ``path`` (.npz).
+
+    The write is **atomic**: bytes go to a temporary file in the target
+    directory first and only an :func:`os.replace` makes them visible
+    under the final name.  A crash mid-write can therefore never leave
+    a truncated "latest" checkpoint for a serving publisher to pick up
+    — readers see either the previous complete file or the new one.
 
     :param optimizer: optional optimizer whose slot arrays (Adagrad
         accumulators, momenta, sparse-row state) are stored alongside
@@ -53,7 +74,31 @@ def save_checkpoint(network: WdlNetwork, path, step: int = 0,
     }
     arrays["__header__"] = np.frombuffer(
         json.dumps(header).encode(), dtype=np.uint8)
-    np.savez(path, **arrays)
+    atomic_savez(path, **arrays)
+
+
+def atomic_savez(path, **arrays) -> Path:
+    """``numpy.savez`` with all-or-nothing visibility; returns the path.
+
+    Writes into a ``tempfile`` sibling and publishes it with
+    :func:`os.replace`, the POSIX atomic-rename durability idiom every
+    snapshot publisher in :mod:`repro.online` leans on.
+    """
+    final = resolve_checkpoint_path(path)
+    handle = tempfile.NamedTemporaryFile(
+        dir=final.parent, prefix=final.name + ".",
+        suffix=".tmp", delete=False)
+    try:
+        with handle:
+            np.savez(handle, **arrays)
+        os.replace(handle.name, final)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+    return final
 
 
 def load_checkpoint(network: WdlNetwork, path, optimizer=None,

@@ -131,7 +131,7 @@ class TestCompare:
 class TestSuite:
     def test_registry_names(self):
         assert set(BENCHES) == {"training", "interleaving", "serving",
-                                "cache", "faults", "shards"}
+                                "cache", "faults", "shards", "online"}
 
     def test_unknown_name_rejected(self):
         with pytest.raises(ValueError, match="unknown bench"):

@@ -8,6 +8,7 @@ from repro.data.spec import DatasetSpec, FieldSpec
 from repro.nn.network import WdlNetwork
 from repro.nn.optim import Adagrad
 from repro.training.checkpoint import (
+    atomic_savez,
     checkpoint_bytes,
     load_checkpoint,
     save_checkpoint,
@@ -147,3 +148,40 @@ class TestValidation:
     def test_checkpoint_bytes_positive(self):
         network = _trained_network(steps=1)
         assert checkpoint_bytes(network) > 0
+
+
+class TestAtomicSave:
+    def test_interrupted_save_preserves_previous(self, tmp_path,
+                                                 monkeypatch):
+        """A crash mid-write never clobbers the published checkpoint."""
+        network = _trained_network(steps=1)
+        path = tmp_path / "latest.npz"
+        save_checkpoint(network, path, step=1)
+        before = path.read_bytes()
+
+        def die_mid_write(handle, **arrays):
+            handle.write(b"torn half-checkpoint")
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez", die_mid_write)
+        with pytest.raises(OSError, match="disk full"):
+            save_checkpoint(_trained_network(steps=3), path, step=3)
+        # The old version is byte-identical, still loads, and the torn
+        # temp file was cleaned up.
+        assert path.read_bytes() == before
+        monkeypatch.undo()
+        assert load_checkpoint(network, path)["step"] == 1
+        assert [entry.name for entry in tmp_path.iterdir()] \
+            == ["latest.npz"]
+
+    def test_no_temp_litter_after_success(self, tmp_path):
+        save_checkpoint(_trained_network(steps=1),
+                        tmp_path / "ok.npz", step=1)
+        assert [entry.name for entry in tmp_path.iterdir()] \
+            == ["ok.npz"]
+
+    def test_atomic_savez_resolves_suffix(self, tmp_path):
+        final = atomic_savez(tmp_path / "raw",
+                             values=np.arange(3))
+        assert final == tmp_path / "raw.npz"
+        assert np.array_equal(np.load(final)["values"], np.arange(3))

@@ -106,6 +106,23 @@ class TestFrequencyCounter:
         counter.reset()
         assert counter.distinct_ids() == 0
 
+    def test_most_common_tie_breaks_on_smaller_id(self):
+        counter = FrequencyCounter()
+        counter.observe(np.array([5, 5, 2, 2, 9]))
+        assert counter.most_common(3) == [(2, 2), (5, 2), (9, 1)]
+        assert counter.top_k(2) == [2, 5]
+
+    def test_most_common_is_arrival_order_independent(self):
+        # Counter.most_common alone breaks ties on insertion order;
+        # the deterministic tie-break must erase that history.
+        forward = FrequencyCounter()
+        forward.observe(np.array([7, 3, 3, 7, 11]))
+        backward = FrequencyCounter()
+        backward.observe(np.array([11]))
+        backward.observe(np.array([7, 7]))
+        backward.observe(np.array([3, 3]))
+        assert forward.most_common(10) == backward.most_common(10)
+
 
 class TestSharding:
     def test_shards_in_range(self):

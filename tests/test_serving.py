@@ -18,6 +18,11 @@ from repro.serving import (
     simulate_serving,
 )
 from repro.serving.batcher import MAX_MICRO_BATCHES
+from repro.serving.traffic import (
+    DiurnalShape,
+    FlashCrowdShape,
+    shape_from_dict,
+)
 
 
 def _request(request_id, arrival_s):
@@ -69,6 +74,102 @@ class TestTraffic:
         with pytest.raises(ValueError):
             TrafficGenerator(default_serving_dataset(),
                              rate_qps=1.0).generate(-1)
+
+
+def _empirical_rate(arrivals, start, end):
+    inside = [value for value in arrivals if start <= value < end]
+    return len(inside) / (end - start)
+
+
+class TestRateShapes:
+    def test_diurnal_factor_and_peak(self):
+        shape = DiurnalShape(period_s=4.0, amplitude=0.5)
+        assert shape.factor(0.0) == pytest.approx(1.0)
+        assert shape.factor(1.0) == pytest.approx(1.5)  # quarter cycle
+        assert shape.factor(3.0) == pytest.approx(0.5)
+        assert shape.peak_factor == pytest.approx(1.5)
+
+    def test_flash_factor_window(self):
+        shape = FlashCrowdShape(start_s=1.0, duration_s=0.5,
+                                multiplier=4.0)
+        assert shape.factor(0.99) == 1.0
+        assert shape.factor(1.0) == 4.0
+        assert shape.factor(1.49) == 4.0
+        assert shape.factor(1.5) == 1.0
+        assert shape.peak_factor == 4.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalShape(period_s=0.0)
+        with pytest.raises(ValueError):
+            DiurnalShape(period_s=1.0, amplitude=1.0)
+        with pytest.raises(ValueError):
+            FlashCrowdShape(start_s=-1.0, duration_s=1.0)
+        with pytest.raises(ValueError):
+            FlashCrowdShape(start_s=0.0, duration_s=0.0)
+        with pytest.raises(ValueError):
+            FlashCrowdShape(start_s=0.0, duration_s=1.0,
+                            multiplier=0.5)
+
+    def test_shape_round_trip(self):
+        for shape in (DiurnalShape(period_s=2.0, amplitude=0.3,
+                                   phase_s=0.5),
+                      FlashCrowdShape(start_s=1.0, duration_s=0.5,
+                                      multiplier=3.0)):
+            assert shape_from_dict(shape.as_dict()) == shape
+        assert shape_from_dict(None) is None
+        with pytest.raises(ValueError):
+            shape_from_dict({"kind": "square-wave"})
+
+    def test_flash_crowd_tracks_target_rate(self):
+        """Thinning reproduces the step: ~4x the arrivals in-window."""
+        shape = FlashCrowdShape(start_s=1.0, duration_s=1.0,
+                                multiplier=4.0)
+        generator = TrafficGenerator(default_serving_dataset(),
+                                     rate_qps=1_000.0, seed=0,
+                                     shape=shape)
+        arrivals = [request.arrival_s
+                    for request in generator.generate(6_000)]
+        assert arrivals == sorted(arrivals)
+        base = _empirical_rate(arrivals, 0.0, 1.0)
+        spike = _empirical_rate(arrivals, 1.0, 2.0)
+        assert base == pytest.approx(1_000.0, rel=0.10)
+        assert spike == pytest.approx(4_000.0, rel=0.10)
+        assert spike > 3.0 * base
+
+    def test_diurnal_tracks_target_rate(self):
+        """Peak and trough half-cycles carry their analytic mass."""
+        shape = DiurnalShape(period_s=2.0, amplitude=0.8)
+        generator = TrafficGenerator(default_serving_dataset(),
+                                     rate_qps=1_000.0, seed=1,
+                                     shape=shape)
+        arrivals = [request.arrival_s
+                    for request in generator.generate(4_000)]
+        # Mean factor over a half cycle is 1 +- amplitude * 2/pi.
+        swing = 0.8 * 2.0 / np.pi
+        peak = _empirical_rate(arrivals, 0.0, 1.0)
+        trough = _empirical_rate(arrivals, 1.0, 2.0)
+        assert peak == pytest.approx(1_000.0 * (1 + swing), rel=0.10)
+        assert trough == pytest.approx(1_000.0 * (1 - swing), rel=0.15)
+
+    def test_shaped_stream_is_deterministic(self):
+        shape = DiurnalShape(period_s=1.0, amplitude=0.5)
+        first = TrafficGenerator(default_serving_dataset(), 500.0,
+                                 seed=3, shape=shape).generate(100)
+        second = TrafficGenerator(default_serving_dataset(), 500.0,
+                                  seed=3, shape=shape).generate(100)
+        assert [a.arrival_s for a in first] \
+            == [b.arrival_s for b in second]
+
+    def test_rate_at_reports_shaped_rate(self):
+        shape = FlashCrowdShape(start_s=1.0, duration_s=1.0,
+                                multiplier=2.0)
+        generator = TrafficGenerator(default_serving_dataset(),
+                                     rate_qps=100.0, shape=shape)
+        assert generator.rate_at(0.5) == pytest.approx(100.0)
+        assert generator.rate_at(1.5) == pytest.approx(200.0)
+        unshaped = TrafficGenerator(default_serving_dataset(), 100.0)
+        assert unshaped.rate_at(123.0) == pytest.approx(100.0)
 
 
 class TestBatcher:
