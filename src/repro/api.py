@@ -15,9 +15,18 @@ single replacement:
 * :class:`StreamConfig` / :func:`stream` close the loop: continuous
   training with delta-snapshot publishes hot-swapped into serving,
   wrapping :func:`~repro.online.loop.simulate_stream`;
+* :class:`TuneConfig` / :func:`tune` are the fourth leg: a
+  trace-driven what-if search (:mod:`repro.tuning`) over PICASSO's
+  knobs, validated with real runs and reported with its
+  predicted-vs-actual fidelity;
 * :func:`profile` runs with telemetry on, returning the report plus a
   ready :class:`~repro.telemetry.CriticalPathReport` and Chrome-trace
   payload.
+
+All configs share the :class:`~repro.config_base.ConfigBase` contract:
+``with_overrides`` re-validates through ``__post_init__``, and
+``as_dict``/``from_dict`` round-trip losslessly with unknown keys
+rejected.
 
 Framework dispatch is an open registry: :func:`register_framework`
 binds a name to a runner callable, and ``api.FRAMEWORKS`` reflects
@@ -29,12 +38,12 @@ matching the paper's two testbeds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields as dataclass_fields, \
-    replace
+from dataclasses import dataclass, field, replace
 
 from repro.baselines import framework_by_name
+from repro.config_base import ConfigBase, codec, dict_codec
 from repro.core import PicassoConfig, PicassoExecutor
-from repro.core.executor import RunReport
+from repro.core.executor import RunReport, per_iteration_seconds
 from repro.data import ALL_DATASETS
 from repro.faults.monitor import plan_report
 from repro.faults.plan import FaultPlan
@@ -43,9 +52,11 @@ from repro.hardware.topology import ClusterSpec
 from repro.models import MODEL_BUILDERS
 from repro.models.base import ModelSpec
 from repro.online.loop import StreamReport, simulate_stream
+from repro.replay import WAIT_MODELS
 from repro.serving.metrics import ServingReport
 from repro.serving.server import CACHE_KINDS, simulate_serving
 from repro.serving.traffic import RateShape, shape_from_dict
+from repro.sim import FrozenTrace
 from repro.telemetry import (
     CriticalPathReport,
     OverlapMonitor,
@@ -56,6 +67,13 @@ from repro.telemetry import (
     emit_alerts,
 )
 from repro.telemetry.span import ManualClock
+from repro.tuning import (
+    KnobSpace,
+    ReplayPredictor,
+    SearchContext,
+    default_space,
+    strategy as tuning_strategy,
+)
 
 #: name -> runner ``(config, model, cluster) -> RunReport``.
 _FRAMEWORK_REGISTRY: dict = {}
@@ -106,11 +124,14 @@ def __getattr__(name: str):
 def parse_cluster(spec) -> ClusterSpec:
     """Resolve ``eflops:N`` / ``gn6e:N`` specs (pass-through for built).
 
+    Names are case-insensitive — ``RunConfig.as_dict`` snapshots emit
+    the cluster's display name (``EFLOPS:2``) and must parse back.
     Raises :class:`ValueError` for unknown testbed names.
     """
     if isinstance(spec, ClusterSpec):
         return spec
     name, _, count = str(spec).partition(":")
+    name = name.lower()
     nodes = int(count) if count else 1
     if name == "eflops":
         return eflops_cluster(nodes)
@@ -119,8 +140,13 @@ def parse_cluster(spec) -> ClusterSpec:
     raise ValueError(f"unknown cluster {name!r}; expected eflops|gn6e")
 
 
+def _encode_cluster(spec) -> str:
+    cluster = parse_cluster(spec)
+    return f"{cluster.name}:{cluster.num_nodes}"
+
+
 @dataclass(frozen=True)
-class RunConfig:
+class RunConfig(ConfigBase):
     """A declarative simulation request (the CLI's flags, as data).
 
     :param cluster: ``eflops:N`` / ``gn6e:N`` string or a built
@@ -146,6 +172,22 @@ class RunConfig:
     record_tasks: bool = False
     fault_plan: FaultPlan | None = None
 
+    _FIELD_CODECS = {
+        "cluster": codec(_encode_cluster, lambda value: value),
+        "picasso": dict_codec(PicassoConfig),
+        "fault_plan": dict_codec(FaultPlan),
+    }
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError(f"scale must be > 0, got {self.scale}")
+        if self.batch_size < 1:
+            raise ValueError(
+                f"batch_size must be >= 1, got {self.batch_size}")
+        if self.iterations < 1:
+            raise ValueError(
+                f"iterations must be >= 1, got {self.iterations}")
+
     def resolved_cluster(self) -> ClusterSpec:
         """The cluster this config runs on."""
         return parse_cluster(self.cluster)
@@ -166,38 +208,6 @@ class RunConfig:
                 f"expected one of {list(ALL_DATASETS)}")
         dataset = ALL_DATASETS[self.dataset](self.scale)
         return MODEL_BUILDERS[self.model](dataset)
-
-    def with_overrides(self, **changes) -> "RunConfig":
-        """A copy with some fields replaced (sweeps, ablations)."""
-        return replace(self, **changes)
-
-    def as_dict(self) -> dict:
-        """Plain-dict snapshot (trace metadata, logs); round-trips
-        through :meth:`from_dict`."""
-        cluster = self.resolved_cluster()
-        return {
-            "model": self.model,
-            "dataset": self.dataset,
-            "scale": self.scale,
-            "cluster": f"{cluster.name}:{cluster.num_nodes}",
-            "framework": self.framework,
-            "batch_size": self.batch_size,
-            "iterations": self.iterations,
-            "record_tasks": self.record_tasks,
-            "fault_plan": (self.fault_plan.as_dict()
-                           if self.fault_plan is not None else None),
-        }
-
-    @classmethod
-    def from_dict(cls, payload: dict) -> "RunConfig":
-        """Rebuild a config from :meth:`as_dict` output."""
-        known = {spec.name for spec in dataclass_fields(cls)}
-        settings = {key: value for key, value in payload.items()
-                    if key in known}
-        plan = settings.get("fault_plan")
-        if isinstance(plan, dict):
-            settings["fault_plan"] = FaultPlan.from_dict(plan)
-        return cls(**settings)
 
 
 def _run_picasso(config: RunConfig, model: ModelSpec,
@@ -252,7 +262,7 @@ def run(config: RunConfig, model: ModelSpec | None = None) -> RunReport:
 
 
 @dataclass(frozen=True)
-class ServeConfig:
+class ServeConfig(ConfigBase):
     """A declarative serving request — :class:`RunConfig`'s mirror.
 
     Field for field the knobs of
@@ -277,6 +287,10 @@ class ServeConfig:
     replicas: int = 1
     fault_plan: FaultPlan | None = None
 
+    _FIELD_CODECS = {
+        "fault_plan": dict_codec(FaultPlan),
+    }
+
     def __post_init__(self) -> None:
         if self.requests < 1:
             raise ValueError("requests must be >= 1")
@@ -285,40 +299,6 @@ class ServeConfig:
         if self.cache not in CACHE_KINDS:
             raise ValueError(f"unknown cache {self.cache!r}; "
                              f"expected one of {CACHE_KINDS}")
-
-    def with_overrides(self, **changes) -> "ServeConfig":
-        """A copy with some fields replaced (sweeps, ablations)."""
-        return replace(self, **changes)
-
-    def as_dict(self) -> dict:
-        """Plain-dict snapshot; round-trips through :meth:`from_dict`."""
-        return {
-            "requests": self.requests,
-            "seed": self.seed,
-            "rate_qps": self.rate_qps,
-            "cache": self.cache,
-            "hot_rows": self.hot_rows,
-            "warm_rows": self.warm_rows,
-            "max_batch_size": self.max_batch_size,
-            "max_wait_s": self.max_wait_s,
-            "slo_s": self.slo_s,
-            "micro_batch_rows": self.micro_batch_rows,
-            "variant": self.variant,
-            "replicas": self.replicas,
-            "fault_plan": (self.fault_plan.as_dict()
-                           if self.fault_plan is not None else None),
-        }
-
-    @classmethod
-    def from_dict(cls, payload: dict) -> "ServeConfig":
-        """Rebuild a config from :meth:`as_dict` output."""
-        known = {spec.name for spec in dataclass_fields(cls)}
-        settings = {key: value for key, value in payload.items()
-                    if key in known}
-        plan = settings.get("fault_plan")
-        if isinstance(plan, dict):
-            settings["fault_plan"] = FaultPlan.from_dict(plan)
-        return cls(**settings)
 
 
 def serve(config: ServeConfig, tracer=None,
@@ -350,7 +330,7 @@ def serve(config: ServeConfig, tracer=None,
 
 
 @dataclass(frozen=True)
-class StreamConfig:
+class StreamConfig(ConfigBase):
     """A declarative continuous-loop request — the third facade leg.
 
     Field for field the knobs of
@@ -385,6 +365,12 @@ class StreamConfig:
     hot_swaps: bool = True
     variant: str = "wdl"
 
+    _FIELD_CODECS = {
+        "shape": codec(lambda value: value.as_dict(),
+                       lambda value: shape_from_dict(value)
+                       if isinstance(value, dict) else value),
+    }
+
     def __post_init__(self) -> None:
         if self.requests < 1:
             raise ValueError("requests must be >= 1")
@@ -395,51 +381,6 @@ class StreamConfig:
         if self.cache not in CACHE_KINDS:
             raise ValueError(f"unknown cache {self.cache!r}; "
                              f"expected one of {CACHE_KINDS}")
-
-    def with_overrides(self, **changes) -> "StreamConfig":
-        """A copy with some fields replaced (sweeps, ablations)."""
-        return replace(self, **changes)
-
-    def as_dict(self) -> dict:
-        """Plain-dict snapshot; round-trips through :meth:`from_dict`."""
-        return {
-            "requests": self.requests,
-            "seed": self.seed,
-            "rate_qps": self.rate_qps,
-            "shape": (self.shape.as_dict()
-                      if self.shape is not None else None),
-            "train_steps": self.train_steps,
-            "train_step_s": self.train_step_s,
-            "train_batch_size": self.train_batch_size,
-            "publish_interval": self.publish_interval,
-            "drift_ids_per_step": self.drift_ids_per_step,
-            "max_chain": self.max_chain,
-            "load_share": self.load_share,
-            "snapshot_dir": self.snapshot_dir,
-            "cache": self.cache,
-            "hot_rows": self.hot_rows,
-            "warm_rows": self.warm_rows,
-            "max_batch_size": self.max_batch_size,
-            "max_wait_s": self.max_wait_s,
-            "slo_s": self.slo_s,
-            "micro_batch_rows": self.micro_batch_rows,
-            "autoscale": self.autoscale,
-            "min_replicas": self.min_replicas,
-            "max_replicas": self.max_replicas,
-            "hot_swaps": self.hot_swaps,
-            "variant": self.variant,
-        }
-
-    @classmethod
-    def from_dict(cls, payload: dict) -> "StreamConfig":
-        """Rebuild a config from :meth:`as_dict` output."""
-        known = {spec.name for spec in dataclass_fields(cls)}
-        settings = {key: value for key, value in payload.items()
-                    if key in known}
-        shape = settings.get("shape")
-        if isinstance(shape, dict):
-            settings["shape"] = shape_from_dict(shape)
-        return cls(**settings)
 
 
 def stream(config: StreamConfig, tracer=None,
@@ -477,6 +418,280 @@ def stream(config: StreamConfig, tracer=None,
         variant=config.variant,
         tracer=tracer,
         metrics=metrics)
+
+
+@dataclass(frozen=True)
+class TuneConfig(ConfigBase):
+    """A declarative auto-tuning request — the fourth facade leg.
+
+    :param run: the baseline workload to tune; must target the
+        ``PICASSO`` framework (the knobs are PICASSO's).
+    :param strategy: registered search strategy name
+        (``coordinate-descent``, ``successive-halving``,
+        ``warmup-grid``, or a :func:`repro.tuning.register_strategy`
+        plug-in).
+    :param top_k: how many distinct top-ranked candidates to validate
+        with real runs before crowning a winner.
+    :param knobs: the :class:`~repro.tuning.KnobSpace` to search, or
+        ``None`` for :func:`~repro.tuning.default_space`.
+    :param trace_path: replay an existing saved
+        :class:`~repro.sim.FrozenTrace` instead of recording a fresh
+        baseline run.
+    :param wait_model: how replay re-derives queue waits (see
+        :data:`repro.replay.WAIT_MODELS`).
+    :param shrink_credit: the predictor's damping exponent for work
+        reductions (see :class:`~repro.tuning.ReplayPredictor`).
+    :param diversity_cap: at most this many validation slots may share
+        the same non-default value of any one knob, so a knob the
+        predictor is systematically wrong about cannot monopolize the
+        validated set.
+    :param options: strategy-specific tunables, passed through to the
+        :class:`~repro.tuning.SearchContext`.
+    """
+
+    run: RunConfig = field(default_factory=RunConfig)
+    strategy: str = "coordinate-descent"
+    top_k: int = 3
+    knobs: KnobSpace | None = None
+    trace_path: str | None = None
+    wait_model: str = "congestion"
+    shrink_credit: float = 0.5
+    diversity_cap: int = 2
+    options: dict = field(default_factory=dict)
+
+    _FIELD_CODECS = {
+        "run": dict_codec(RunConfig),
+        "knobs": dict_codec(KnobSpace),
+    }
+
+    def __post_init__(self) -> None:
+        if not self.strategy:
+            raise ValueError("strategy must be non-empty")
+        if self.top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {self.top_k}")
+        if self.wait_model not in WAIT_MODELS:
+            raise ValueError(
+                f"unknown wait_model {self.wait_model!r}; "
+                f"expected one of {WAIT_MODELS}")
+        if not 0.0 < self.shrink_credit <= 1.0:
+            raise ValueError(
+                f"shrink_credit must be in (0, 1], "
+                f"got {self.shrink_credit}")
+        if self.diversity_cap < 1:
+            raise ValueError(
+                f"diversity_cap must be >= 1, "
+                f"got {self.diversity_cap}")
+
+
+@dataclass(frozen=True)
+class CandidateValidation:
+    """One top-k candidate's predicted-vs-actual comparison."""
+
+    assignment: dict
+    predicted_ips: float
+    measured_ips: float
+    source: str = "replay"
+
+    @property
+    def error(self) -> float:
+        """Signed relative prediction error vs the real run."""
+        if self.measured_ips == 0:
+            return float("inf")
+        return (self.predicted_ips - self.measured_ips) \
+            / self.measured_ips
+
+    def as_dict(self) -> dict:
+        return {"assignment": dict(self.assignment),
+                "predicted_ips": self.predicted_ips,
+                "measured_ips": self.measured_ips,
+                "error": self.error,
+                "source": self.source}
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """Outcome of one :func:`tune` session: winner plus fidelity.
+
+    ``best_config`` embeds the winning knob assignment as its
+    ``picasso`` field; when no validated candidate beats the baseline
+    (``improved`` is False) it is the baseline config unchanged and
+    the winner metrics collapse onto the baseline's.
+    """
+
+    best_config: RunConfig
+    best_assignment: dict
+    base_ips: float
+    best_ips: float
+    predicted_ips: float
+    validations: tuple
+    strategy: str
+    candidates_evaluated: int
+    improved: bool
+
+    @property
+    def gain(self) -> float:
+        """Relative throughput gain of the winner over the baseline."""
+        if self.base_ips == 0:
+            return 0.0
+        return self.best_ips / self.base_ips - 1.0
+
+    @property
+    def fidelity_error(self) -> float:
+        """Signed relative replay-prediction error on the winner."""
+        if self.best_ips == 0:
+            return float("inf")
+        return (self.predicted_ips - self.best_ips) / self.best_ips
+
+    def as_dict(self) -> dict:
+        return {
+            "best_config": self.best_config.as_dict(),
+            "best_assignment": dict(self.best_assignment),
+            "base_ips": self.base_ips,
+            "best_ips": self.best_ips,
+            "predicted_ips": self.predicted_ips,
+            "gain": self.gain,
+            "fidelity_error": self.fidelity_error,
+            "validations": [entry.as_dict()
+                            for entry in self.validations],
+            "strategy": self.strategy,
+            "candidates_evaluated": self.candidates_evaluated,
+            "improved": self.improved,
+        }
+
+
+def _trace_ips(records, makespan: float, batch_size: int,
+               iterations: int) -> float:
+    """The recorded run's ips, recomputed from its own markers."""
+    first_end = 0.0
+    for record in records:
+        if record.name == "it0/step_end":
+            first_end = record.end
+            break
+    per_iteration = per_iteration_seconds(makespan, first_end,
+                                          iterations)
+    return batch_size / per_iteration
+
+
+def _select_diverse(ranked, space: KnobSpace,
+                    base_picasso: PicassoConfig, top_k: int,
+                    cap: int) -> list:
+    """Pick ``top_k`` validation candidates, best-predicted first,
+    letting at most ``cap`` of them share any one non-default knob
+    value.
+
+    Per-class work-ratio replay is blind to knobs that only
+    restructure the DAG, and systematically optimistic about others;
+    without this rule one mispredicted knob value (say
+    ``micro_batches=1``) can fill every validation slot and the true
+    winner never gets measured.  Values equal to the base config's
+    default are exempt — "unchanged" is not a diversity axis.
+    """
+    counts: dict = {}
+    selected: list = []
+    for candidate in ranked:
+        effective = {
+            knob.name: candidate.assignment.get(
+                knob.name, getattr(base_picasso, knob.name))
+            for knob in space}
+        blocked = any(
+            counts.get((name, value), 0) >= cap
+            for name, value in effective.items()
+            if value != getattr(base_picasso, name))
+        if blocked:
+            continue
+        selected.append(candidate)
+        for name, value in effective.items():
+            counts[(name, value)] = counts.get((name, value), 0) + 1
+        if len(selected) == top_k:
+            break
+    return selected
+
+
+def tune(config: TuneConfig,
+         model: ModelSpec | None = None) -> TuneResult:
+    """Search PICASSO's knob space by what-if replay, then validate.
+
+    Records (or loads) a baseline trace, prices every candidate the
+    strategy proposes by replaying that trace under per-class
+    work-ratio cost hooks, validates the ``top_k`` best predictions
+    (diversity-capped, see :class:`TuneConfig`) with real :func:`run`
+    executions, and crowns the best *measured* one — so a replay
+    misprediction costs a validation slot, never a wrong winner among
+    the validated set.
+    """
+    base = config.run
+    if base.framework != "PICASSO":
+        raise ValueError(
+            f"tune() searches PICASSO knobs; config.run.framework is "
+            f"{base.framework!r}")
+    model = model if model is not None else base.build_model()
+    cluster = base.resolved_cluster()
+    base_picasso = base.picasso or PicassoConfig()
+
+    if config.trace_path is not None:
+        trace = FrozenTrace.load(config.trace_path)
+        records, makespan = trace.records, trace.makespan
+        base_ips = _trace_ips(records, makespan, base.batch_size,
+                              base.iterations)
+    else:
+        report = run(base.with_overrides(record_tasks=True),
+                     model=model)
+        records = report.result.task_records
+        base_ips = report.ips
+
+    predictor = ReplayPredictor(
+        model, cluster, base.batch_size, base.iterations, records,
+        base_picasso=base_picasso, wait_model=config.wait_model,
+        shrink_credit=config.shrink_credit)
+    space = config.knobs if config.knobs is not None else default_space()
+    ctx = SearchContext(predictor=predictor, space=space,
+                        base=base_picasso,
+                        options=dict(config.options))
+    ranked = tuning_strategy(config.strategy)(ctx)
+    if not ranked:
+        raise ValueError(
+            f"strategy {config.strategy!r} produced no candidates")
+
+    shortlist = _select_diverse(ranked, space, base_picasso,
+                                config.top_k, config.diversity_cap)
+    validations = []
+    best_candidate = None
+    best_validation = None
+    for candidate in shortlist:
+        measured = run(base.with_overrides(picasso=candidate.picasso),
+                       model=model)
+        validation = CandidateValidation(
+            assignment=dict(candidate.assignment),
+            predicted_ips=candidate.predicted_ips,
+            measured_ips=measured.ips,
+            source=candidate.source)
+        validations.append(validation)
+        if (best_validation is None
+                or measured.ips > best_validation.measured_ips):
+            best_candidate, best_validation = candidate, validation
+
+    improved = best_validation.measured_ips > base_ips
+    if improved:
+        best_config = base.with_overrides(
+            picasso=best_candidate.picasso)
+        best_assignment = dict(best_candidate.assignment)
+        best_ips = best_validation.measured_ips
+        predicted_ips = best_validation.predicted_ips
+    else:
+        best_config = base
+        best_assignment = {}
+        best_ips = base_ips
+        predicted_ips = base_ips
+    return TuneResult(
+        best_config=best_config,
+        best_assignment=best_assignment,
+        base_ips=base_ips,
+        best_ips=best_ips,
+        predicted_ips=predicted_ips,
+        validations=tuple(validations),
+        strategy=config.strategy,
+        candidates_evaluated=len(ranked),
+        improved=improved)
 
 
 @dataclass(frozen=True)

@@ -25,7 +25,13 @@ Each benchmark is one deterministic, CI-sized workload reduced to a
   flash crowd, against a no-swap replay of the same trace: goodput,
   swap-pause p99, model staleness and delta compression, gated so a
   swap that starts dropping requests (or a delta format that bloats
-  past 1/5th of a full checkpoint) fails CI.
+  past 1/5th of a full checkpoint) fails CI;
+* ``replay`` — the what-if loop on the training workload: unperturbed
+  replay must reproduce the engine makespan *exactly* (tolerance 0),
+  a launch-halved perturbation must land where it lands, and the
+  coordinate-descent auto-tuner must keep finding a >= 10% winner with
+  <= 15% prediction error on it, gated so a replay or predictor
+  regression fails CI.
 
 Workloads are deliberately small (seconds each): the gate's job is
 catching regressions on every PR, not measuring peak numbers.
@@ -35,8 +41,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.api import RunConfig, ServeConfig, StreamConfig, profile, \
-    serve, stream
+from repro.api import RunConfig, ServeConfig, StreamConfig, \
+    TuneConfig, profile, run, serve, stream, tune
 from repro.bench.snapshot import BenchSnapshot
 from repro.core import PicassoConfig
 from repro.data import BoundedZipf
@@ -438,6 +444,67 @@ def bench_online() -> BenchSnapshot:
         tolerances=tolerances)
 
 
+def bench_replay() -> BenchSnapshot:
+    """What-if replay fidelity + auto-tuner quality, gated.
+
+    Records the training workload once, then gates three layers of the
+    what-if stack: unperturbed replay must be *exact* (the engine
+    invariant the whole replayer rests on — tolerance 0), a
+    launch-halved perturbation must reproduce its makespan cut, and
+    :func:`repro.api.tune` with the default coordinate-descent
+    strategy must keep clearing the acceptance bar (>= 10% measured
+    gain, |prediction error| <= 15% on the validated winner).
+    """
+    from repro.replay import CostHooks, TraceReplayer
+
+    config = dict(_TRAIN_CONFIG)
+    base = RunConfig(**config)
+    report = run(base.with_overrides(record_tasks=True))
+    replayer = TraceReplayer(report.result.task_records)
+    unperturbed = replayer.replay()
+    halved = replayer.replay(CostHooks(launch=0.5))
+    tuned = tune(TuneConfig(run=base))
+    metrics = {
+        "makespan_s": report.result.makespan,
+        "replay_makespan_s": unperturbed.makespan,
+        "replay_exact": float(
+            unperturbed.makespan == report.result.makespan),
+        "launch_half_makespan_s": halved.makespan,
+        "launch_half_ratio": halved.makespan_ratio,
+        "base_ips": tuned.base_ips,
+        "tuned_ips": tuned.best_ips,
+        "tuned_gain": tuned.gain,
+        "tuned_fidelity_error": tuned.fidelity_error,
+        "tuned_validations": len(tuned.validations),
+        "tuned_candidates": tuned.candidates_evaluated,
+        "tuned_improved": float(tuned.improved),
+    }
+    tolerances = {
+        "replay_exact": 0.0,
+        "tuned_validations": 0.0,
+        "tuned_candidates": 0.0,
+        "tuned_improved": 0.0,
+        "makespan_s": 0.01,
+        "replay_makespan_s": 0.01,
+        "launch_half_makespan_s": 0.01,
+        "launch_half_ratio": 0.01,
+        "base_ips": 0.01,
+        "tuned_ips": 0.02,
+        "tuned_gain": 0.10,
+        "tuned_fidelity_error": 0.25,
+    }
+    return BenchSnapshot(
+        name="replay",
+        config=config,
+        metrics=metrics,
+        monitors={"winner": {
+            "assignment": {key: value for key, value
+                           in sorted(tuned.best_assignment.items())},
+            "strategy": tuned.strategy,
+        }},
+        tolerances=tolerances)
+
+
 #: Name -> builder for every benchmark ``repro bench run`` knows.
 BENCHES = {
     "training": bench_training,
@@ -447,6 +514,7 @@ BENCHES = {
     "faults": bench_faults,
     "shards": bench_shards,
     "online": bench_online,
+    "replay": bench_replay,
 }
 
 

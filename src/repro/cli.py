@@ -15,6 +15,12 @@ Commands:
 * ``profile`` — run one workload with telemetry on, write a
   Chrome-trace JSON (loads in Perfetto) and print the critical path
   plus run-health monitor verdicts.
+* ``replay`` — record (or load) a frozen task trace and re-derive its
+  timeline under perturbed per-class cost scales, without re-running
+  the engine.
+* ``tune`` — trace-driven what-if auto-tuning: search PICASSO's knob
+  space by replay prediction, validate the top candidates with real
+  runs, report the winner plus prediction fidelity.
 * ``bench`` — run the regression benchmark suite (``bench run``) and
   gate candidate snapshots against baselines (``bench compare``).
 * ``plan-shards`` — build a skew-aware embedding shard placement,
@@ -36,7 +42,7 @@ import sys
 import numpy as np
 
 from repro import api
-from repro.api import RunConfig, ServeConfig, StreamConfig
+from repro.api import RunConfig, ServeConfig, StreamConfig, TuneConfig
 from repro.faults import FaultPlan
 from repro.bench import (
     BENCHES,
@@ -57,14 +63,18 @@ from repro.embedding.placement import (
 from repro.experiments import runner as experiment_runner
 from repro.experiments.common import format_table, mini_criteo
 from repro.models import MODEL_BUILDERS
+from repro.replay import WAIT_MODELS, CostHooks, TraceReplayer
 from repro.serving import CACHE_KINDS, DiurnalShape, FlashCrowdShape
+from repro.sim import FrozenTrace
 from repro.sim.export import ascii_gantt
 from repro.telemetry import (
+    class_deltas,
     format_critical_path,
     validate_chrome_trace,
     write_chrome_trace,
 )
 from repro.training import train_and_evaluate
+from repro.tuning import strategies as tuning_strategies
 
 
 def _cluster(spec: str):
@@ -313,6 +323,96 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def _load_or_record_trace(args) -> FrozenTrace:
+    """The frozen trace ``replay``/``tune`` operate on."""
+    if args.trace:
+        try:
+            return FrozenTrace.load(args.trace)
+        except (OSError, ValueError) as error:
+            raise SystemExit(f"cannot load trace {args.trace}: {error}")
+    config = _run_config(args, record_tasks=True)
+    report = _facade_run(config)
+    return FrozenTrace(records=tuple(report.result.task_records),
+                       makespan=report.result.makespan,
+                       metadata={"workload": config.as_dict(),
+                                 "report_name": report.name})
+
+
+def cmd_replay(args) -> int:
+    trace = _load_or_record_trace(args)
+    if args.save:
+        path = trace.save(args.save)
+        print(f"trace saved to {path} ({len(trace)} tasks)")
+    try:
+        hooks = CostHooks(compute=args.compute, memory=args.memory,
+                          communication=args.communication,
+                          launch=args.launch,
+                          wait_model=args.wait_model)
+        replayer = TraceReplayer.from_trace(trace)
+    except ValueError as error:
+        raise SystemExit(str(error))
+    base = replayer.replay()
+    replayed = replayer.replay(hooks)
+    print(f"replayed {len(trace)} tasks under scales "
+          f"compute={args.compute:g} memory={args.memory:g} "
+          f"communication={args.communication:g} "
+          f"launch={args.launch:g} (waits: {args.wait_model})")
+    print(f"makespan: {base.makespan * 1e3:.3f} ms -> "
+          f"{replayed.makespan * 1e3:.3f} ms "
+          f"({replayed.makespan_ratio:.3f}x)")
+    deltas = class_deltas(base.critical_path(),
+                          replayed.critical_path())
+    rows = [{"class": name,
+             "delta_ms": f"{seconds * 1e3:+.3f}"}
+            for name, seconds in sorted(deltas.items())
+            if name != "makespan"]
+    rows.append({"class": "makespan",
+                 "delta_ms": f"{deltas['makespan'] * 1e3:+.3f}"})
+    print(format_table(rows, ["class", "delta_ms"]))
+    return 0
+
+
+def cmd_tune(args) -> int:
+    base = _run_config(args)
+    try:
+        config = TuneConfig(run=base, strategy=args.strategy,
+                            top_k=args.top_k, trace_path=args.trace,
+                            wait_model=args.wait_model)
+        result = api.tune(config)
+    except ValueError as error:
+        raise SystemExit(str(error))
+    cluster = base.resolved_cluster()
+    print(f"tuning PICASSO/{base.model} on {base.dataset} "
+          f"({cluster.name} x{cluster.num_nodes}) via {args.strategy}: "
+          f"{result.candidates_evaluated} candidates, "
+          f"{len(result.validations)} validated")
+    rows = [{
+        "assignment": ", ".join(
+            f"{key}={value:g}" if isinstance(value, float)
+            else f"{key}={value}"
+            for key, value in sorted(entry.assignment.items()))
+        or "(baseline)",
+        "predicted_ips": f"{entry.predicted_ips:,.0f}",
+        "measured_ips": f"{entry.measured_ips:,.0f}",
+        "error": f"{entry.error:+.1%}",
+    } for entry in result.validations]
+    print(format_table(rows, ["assignment", "predicted_ips",
+                              "measured_ips", "error"]))
+    if result.improved:
+        assignment = ", ".join(
+            f"{key}={value:g}" if isinstance(value, float)
+            else f"{key}={value}"
+            for key, value in sorted(result.best_assignment.items()))
+        print(f"winner: {assignment} — {result.best_ips:,.0f} ips "
+              f"({result.gain:+.1%} vs baseline "
+              f"{result.base_ips:,.0f}), prediction error "
+              f"{result.fidelity_error:+.1%}")
+    else:
+        print(f"no validated candidate beat the baseline "
+              f"({result.base_ips:,.0f} ips); keeping it")
+    return 0
+
+
 def cmd_bench_run(args) -> int:
     out_dir = args.baseline_dir if args.update_baseline else args.out
     names = args.only.split(",") if args.only else None
@@ -533,6 +633,46 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--top", type=int, default=10,
                       help="entries in the critical-path ranking")
     prof.set_defaults(func=cmd_profile)
+
+    replay = sub.add_parser(
+        "replay",
+        help="what-if replay of a frozen task trace under "
+             "perturbed cost scales")
+    add_sim_args(replay)
+    replay.add_argument("--trace",
+                        help="replay a saved trace JSON instead of "
+                             "recording a fresh run")
+    replay.add_argument("--save",
+                        help="save the recorded trace JSON here")
+    replay.add_argument("--compute", type=float, default=1.0,
+                        help="duration scale for compute segments")
+    replay.add_argument("--memory", type=float, default=1.0,
+                        help="duration scale for memory segments")
+    replay.add_argument("--communication", type=float, default=1.0,
+                        help="duration scale for communication segments")
+    replay.add_argument("--launch", type=float, default=1.0,
+                        help="duration scale for launch segments")
+    replay.add_argument("--wait-model", default="congestion",
+                        choices=WAIT_MODELS,
+                        help="how queue waits track segment scales")
+    replay.set_defaults(func=cmd_replay)
+
+    tune = sub.add_parser(
+        "tune",
+        help="trace-driven auto-tuning of PICASSO knobs with "
+             "real-run validation")
+    add_sim_args(tune)
+    tune.add_argument("--strategy", default="coordinate-descent",
+                      choices=tuning_strategies())
+    tune.add_argument("--top-k", type=int, default=3,
+                      help="distinct top candidates validated with "
+                           "real runs")
+    tune.add_argument("--trace",
+                      help="reuse a saved baseline trace JSON")
+    tune.add_argument("--wait-model", default="congestion",
+                      choices=WAIT_MODELS,
+                      help="how queue waits track segment scales")
+    tune.set_defaults(func=cmd_tune)
 
     bench = sub.add_parser(
         "bench",

@@ -21,7 +21,6 @@ from repro.core.interleaving import (
 from repro.core.caching import CachePlan, expected_hit_ratio
 from repro.core.planner import PicassoPlanner
 from repro.core.executor import PicassoExecutor, RunReport, simulate_plan
-from repro.core.autotuner import AutoTuner, TuningResult
 
 __all__ = [
     "PicassoConfig",
@@ -40,3 +39,14 @@ __all__ = [
     "AutoTuner",
     "TuningResult",
 ]
+
+
+def __getattr__(name: str):
+    # AutoTuner moved to repro.tuning; resolve lazily so importing
+    # repro.core never pulls the tuning package (or its deprecation
+    # shim) unless the legacy names are actually used.
+    if name in ("AutoTuner", "TuningResult"):
+        from repro.tuning import warmup
+        return getattr(warmup, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

@@ -8,15 +8,16 @@ pure hybrid-parallel strategy without software-system optimization
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 
+from repro.config_base import ConfigBase, codec
 from repro.graph.builder import CostModel
 
 _GIB = float(1 << 30)
 
 
 @dataclass(frozen=True)
-class PicassoConfig:
+class PicassoConfig(ConfigBase):
     """Feature toggles and tunables for a PICASSO training session.
 
     :param enable_packing: D-Packing (merge per-field embedding ops by
@@ -63,11 +64,36 @@ class PicassoConfig:
     cost: CostModel = field(default_factory=CostModel)
     shard_policy: str = "hash"
 
+    _FIELD_CODECS = {
+        "cost": codec(asdict,
+                      lambda value: CostModel(**value)
+                      if isinstance(value, dict) else value),
+        "excluded_fields": codec(list, tuple),
+    }
+
     def __post_init__(self) -> None:
         if self.shard_policy not in ("hash", "planned"):
             raise ValueError(
                 f"unknown shard_policy {self.shard_policy!r}; "
                 "expected 'hash' or 'planned'")
+        if self.micro_batch_scope not in ("all", "mlp"):
+            raise ValueError(
+                f"unknown micro_batch_scope "
+                f"{self.micro_batch_scope!r}; expected 'all' or 'mlp'")
+        if self.interleave_sets is not None and self.interleave_sets < 1:
+            raise ValueError(
+                f"interleave_sets must be >= 1 or None, "
+                f"got {self.interleave_sets}")
+        if self.micro_batches is not None and self.micro_batches < 1:
+            raise ValueError(
+                f"micro_batches must be >= 1 or None, "
+                f"got {self.micro_batches}")
+        if self.hot_storage_bytes < 0:
+            raise ValueError("hot_storage_bytes must be >= 0")
+        if self.flush_iters < 1:
+            raise ValueError("flush_iters must be >= 1")
+        if self.device_memory_budget <= 0:
+            raise ValueError("device_memory_budget must be > 0")
 
     @classmethod
     def base(cls) -> "PicassoConfig":

@@ -66,6 +66,52 @@ class RunReport:
         return instances / self.ips / 3600.0
 
 
+def compile_plan(plan: ExecutionPlan, iterations: int) -> tuple:
+    """Compile a plan to ``(graph, tasks, resources)``, costs applied.
+
+    This is the deterministic front half of :func:`simulate_plan`: the
+    operator graph, the launch-cost projection (including the
+    superlinear large-graph scheduling overhead) and the node's
+    resource set — everything the engine needs, and everything the
+    what-if predictor (:mod:`repro.tuning`) needs to total per-kind
+    work without running the engine.
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    builder = IterationGraphBuilder(plan)
+    graph = builder.build(iterations)
+    # Very large graphs pay superlinear executor scheduling cost (the
+    # reason Tab. VIII's PS baseline falls below arithmetic progression
+    # as feature fields multiply).
+    micro_per_iteration = graph.total_micro_ops / iterations
+    overhead = 1.0 + max(0.0, micro_per_iteration
+                         / plan.cost.graph_overhead_knee - 1.0)
+    launch = plan.cost.launch_per_micro_op * plan.launch_scale * overhead
+    floor = plan.cost.launch_floor * plan.launch_scale * overhead
+    tasks = graph.to_sim_tasks(launch, floor)
+    resources = build_node_resources(plan.cluster.node)
+    return graph, tasks, resources
+
+
+def per_iteration_seconds(makespan: float, first_step_end: float,
+                          iterations: int) -> float:
+    """Steady-state seconds per iteration from run markers.
+
+    The first iteration is treated as pipeline warm-up: with more than
+    one step, per-iteration time is measured from the end of step 0
+    (the ``it0/step_end`` marker).  Asynchronous strategies queue
+    trailing pushes long past the first step marker, so the
+    marker-based estimate can collapse; the mean over all steps
+    lower-bounds steady-state cost.
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    if iterations == 1:
+        return makespan
+    per_iteration = (makespan - first_step_end) / (iterations - 1)
+    return max(per_iteration, makespan / iterations)
+
+
 def simulate_plan(plan: ExecutionPlan, iterations: int = 3,
                   name: str | None = None,
                   record_tasks: bool = False,
@@ -86,20 +132,7 @@ def simulate_plan(plan: ExecutionPlan, iterations: int = 3,
     scale resource capacity over their windows, so the reported
     throughput is the *faulted* throughput.
     """
-    if iterations < 1:
-        raise ValueError("iterations must be >= 1")
-    builder = IterationGraphBuilder(plan)
-    graph = builder.build(iterations)
-    # Very large graphs pay superlinear executor scheduling cost (the
-    # reason Tab. VIII's PS baseline falls below arithmetic progression
-    # as feature fields multiply).
-    micro_per_iteration = graph.total_micro_ops / iterations
-    overhead = 1.0 + max(0.0, micro_per_iteration
-                         / plan.cost.graph_overhead_knee - 1.0)
-    launch = plan.cost.launch_per_micro_op * plan.launch_scale * overhead
-    floor = plan.cost.launch_floor * plan.launch_scale * overhead
-    tasks = graph.to_sim_tasks(launch, floor)
-    resources = build_node_resources(plan.cluster.node)
+    graph, tasks, resources = compile_plan(plan, iterations)
     engine = Engine(resources)
     injector = None
     if fault_plan is not None and len(fault_plan):
@@ -108,15 +141,9 @@ def simulate_plan(plan: ExecutionPlan, iterations: int = 3,
     result = engine.run(tasks, keep_finish_times=True,
                         record_tasks=record_tasks, injector=injector)
 
-    if iterations > 1:
-        first_end = result.finish_times.get("it0/step_end", 0.0) or 0.0
-        per_iteration = (result.makespan - first_end) / (iterations - 1)
-        # Asynchronous strategies queue trailing pushes long past the
-        # first step marker, so the marker-based estimate can collapse;
-        # the mean over all steps lower-bounds steady-state cost.
-        per_iteration = max(per_iteration, result.makespan / iterations)
-    else:
-        per_iteration = result.makespan
+    first_end = result.finish_times.get("it0/step_end", 0.0) or 0.0
+    per_iteration = per_iteration_seconds(result.makespan, first_end,
+                                          iterations)
 
     sm_capacity = resources[ResourceKind.GPU_SM].capacity
     nvlink_rate = 0.0

@@ -11,6 +11,7 @@ import sys
 import time
 
 from repro.experiments import (
+    autotune,
     fault_recovery,
     fig01_gpu_util,
     fig03_distribution,
@@ -84,6 +85,8 @@ EXPERIMENTS = [
      lambda: shard_placement.run_shard_placement()),
     ("Staleness vs AUC (publish cadence)",
      lambda: staleness_auc.run_staleness_auc()),
+    ("Auto-tuning strategy comparison",
+     lambda: autotune.run_autotune()),
     ("Run-health monitors",
      lambda: monitor_health.run_monitor_health()),
     ("Overlap-ratio ablation",

@@ -1,0 +1,21 @@
+"""Trace-driven what-if replay (the byteprofile-analysis recipe).
+
+Record one run (``record_tasks=True`` or a saved
+:class:`~repro.sim.trace.FrozenTrace`), then ask "what if launches
+were half as expensive?" without re-running the engine:
+:class:`~repro.replay.replayer.TraceReplayer` re-times the frozen task
+DAG under :class:`~repro.replay.hooks.CostHooks` per-class cost
+scales, re-deriving queue waits and the makespan.  The auto-tuner
+(:mod:`repro.tuning`) drives this with per-kind work ratios to rank
+config candidates cheaply.
+"""
+
+from repro.replay.hooks import WAIT_MODELS, CostHooks
+from repro.replay.replayer import ReplayResult, TraceReplayer
+
+__all__ = [
+    "CostHooks",
+    "ReplayResult",
+    "TraceReplayer",
+    "WAIT_MODELS",
+]

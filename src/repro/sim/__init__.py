@@ -15,7 +15,12 @@ from repro.sim.engine import (
     SimTask,
     build_node_resources,
 )
-from repro.sim.trace import ResourceTrace, TaskRecord, TraceRecorder
+from repro.sim.trace import (
+    FrozenTrace,
+    ResourceTrace,
+    TaskRecord,
+    TraceRecorder,
+)
 from repro.sim.export import ascii_gantt, busy_summary, timeline_json
 from repro.sim.metrics import (
     bandwidth_timeline,
@@ -33,6 +38,7 @@ __all__ = [
     "SimSummary",
     "SimTask",
     "build_node_resources",
+    "FrozenTrace",
     "ResourceTrace",
     "TaskRecord",
     "TraceRecorder",

@@ -9,6 +9,7 @@ at 10 ms granularity.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 from repro.sim.resource import (
@@ -17,6 +18,9 @@ from repro.sim.resource import (
     MEMORY_KINDS,
     ResourceKind,
 )
+
+#: Bump when the frozen-trace JSON layout changes incompatibly.
+TRACE_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -58,6 +62,97 @@ class TaskRecord:
         """Time spent queued rather than executing."""
         executing = sum(t1 - t0 for _kind, t0, t1 in self.segments)
         return max(0.0, self.duration - executing)
+
+    def as_dict(self) -> dict:
+        """Lossless plain-dict form; round-trips via :meth:`from_dict`."""
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "preds": list(self.preds),
+            "tags": dict(self.tags),
+            "segments": [[kind, t0, t1]
+                         for kind, t0, t1 in self.segments],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TaskRecord":
+        """Rebuild a record from :meth:`as_dict` output."""
+        return cls(
+            name=payload["name"],
+            start=payload["start"],
+            end=payload["end"],
+            preds=tuple(payload.get("preds", ())),
+            tags=dict(payload.get("tags", {})),
+            segments=tuple((kind, t0, t1)
+                           for kind, t0, t1
+                           in payload.get("segments", ())))
+
+
+@dataclass(frozen=True)
+class FrozenTrace:
+    """A recorded task DAG, frozen for offline what-if replay.
+
+    Bundles the :class:`TaskRecord` list of one engine run with its
+    makespan and free-form metadata (typically the workload config and
+    headline metrics), and serializes byte-deterministically: saving
+    the same run twice yields identical files, so replay artifacts can
+    sit behind the determinism CI gate.
+    """
+
+    records: tuple
+    makespan: float
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.records, tuple):
+            object.__setattr__(self, "records", tuple(self.records))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def as_dict(self) -> dict:
+        return {
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "makespan": self.makespan,
+            "metadata": dict(self.metadata),
+            "records": [record.as_dict() for record in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FrozenTrace":
+        version = payload.get("schema_version")
+        if version != TRACE_SCHEMA_VERSION:
+            raise ValueError(
+                f"frozen trace schema v{version} != supported "
+                f"v{TRACE_SCHEMA_VERSION}; re-record the trace")
+        return cls(
+            records=tuple(TaskRecord.from_dict(record)
+                          for record in payload.get("records", ())),
+            makespan=payload["makespan"],
+            metadata=dict(payload.get("metadata", {})))
+
+    def dumps(self) -> str:
+        """Canonical JSON: sorted keys, fixed separators, newline EOF.
+
+        Record *order* is load-bearing (it is the engine's completion
+        order, which the replayer relies on as a topological order),
+        so records stay a list; only dict keys are sorted.
+        """
+        return json.dumps(self.as_dict(), sort_keys=True, indent=1,
+                          separators=(",", ": ")) + "\n"
+
+    def save(self, path: str) -> str:
+        """Write the canonical JSON to ``path``; returns the path."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.dumps())
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "FrozenTrace":
+        """Read a trace written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
 
 
 @dataclass

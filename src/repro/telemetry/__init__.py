@@ -21,6 +21,7 @@ from repro.telemetry.critical_path import (
     PathEntry,
     PathStep,
     analyze_critical_path,
+    class_deltas,
     format_critical_path,
 )
 from repro.telemetry.metrics import Counter, Gauge, MetricsRegistry
@@ -76,6 +77,7 @@ __all__ = [
     "WindowStats",
     "analyze_critical_path",
     "chrome_trace",
+    "class_deltas",
     "emit_alerts",
     "format_critical_path",
     "is_stats",

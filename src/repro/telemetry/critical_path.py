@@ -258,6 +258,24 @@ def analyze_critical_path(records: list, makespan: float | None = None,
         class_seconds=class_seconds, top_k=top_k)
 
 
+def class_deltas(base: CriticalPathReport,
+                 candidate: CriticalPathReport) -> dict:
+    """Per-resource-class path-time deltas between two reports.
+
+    The what-if replayer's summary view: for each attribution class
+    (compute, memory, communication, launch, wait) the change in
+    on-path seconds from ``base`` to ``candidate``, plus the makespan
+    delta under ``"makespan"``.  An unperturbed replay diffs to all
+    zeros; a launch-only perturbation moves ``launch`` and ``wait``
+    while the other classes stay put.
+    """
+    deltas = {name: (candidate.class_seconds.get(name, 0.0)
+                     - base.class_seconds.get(name, 0.0))
+              for name in RESOURCE_CLASSES}
+    deltas["makespan"] = candidate.makespan - base.makespan
+    return deltas
+
+
 def format_critical_path(report: CriticalPathReport,
                          k: int | None = None) -> str:
     """Human-readable top-k table plus resource-class attribution."""

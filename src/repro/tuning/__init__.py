@@ -1,0 +1,43 @@
+"""Trace-driven auto-tuning: knob spaces, prediction, search.
+
+The what-if loop behind :func:`repro.api.tune`: a
+:class:`ReplayPredictor` prices candidate configs by replaying a
+recorded base-run trace under per-class work-ratio cost hooks
+(:mod:`repro.replay`), and registered search strategies
+(``coordinate-descent``, ``successive-halving``, the fully-measured
+legacy ``warmup-grid``) drive it over a declared :class:`KnobSpace`.
+New strategies plug in via :func:`register_strategy`.
+"""
+
+from repro.tuning.knobs import Knob, KnobSpace, default_space
+from repro.tuning.predictor import Prediction, ReplayPredictor
+from repro.tuning.strategies import (
+    Candidate,
+    SearchContext,
+    coordinate_descent,
+    rank_candidates,
+    register_strategy,
+    strategies,
+    strategy,
+    successive_halving,
+)
+from repro.tuning.warmup import AutoTuner, TuningResult, warmup_grid
+
+__all__ = [
+    "AutoTuner",
+    "Candidate",
+    "Knob",
+    "KnobSpace",
+    "Prediction",
+    "ReplayPredictor",
+    "SearchContext",
+    "TuningResult",
+    "coordinate_descent",
+    "default_space",
+    "rank_candidates",
+    "register_strategy",
+    "strategies",
+    "strategy",
+    "successive_halving",
+    "warmup_grid",
+]

@@ -1,0 +1,237 @@
+"""Search strategies driving the what-if replayer.
+
+A strategy is a callable ``(ctx: SearchContext) -> list[Candidate]``
+returning candidates ranked best-first by its own belief; the
+:func:`repro.api.tune` loop then validates the top few with real runs
+and crowns the best *measured* one.  Strategies register themselves in
+an open registry (:func:`register_strategy`) mirroring the framework
+registry in :mod:`repro.api`, so downstream code can plug in new
+search algorithms without touching this module.
+
+Candidates whose predictions are byte-identical are collapsed before
+ranking: per-class work-ratio replay cannot distinguish knobs that
+only restructure the DAG (e.g. ``interleave_sets``), and without the
+collapse the top-k validation slots would be spent on replicas of one
+prediction instead of genuinely distinct hypotheses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.config import PicassoConfig
+from repro.tuning.knobs import KnobSpace
+from repro.tuning.predictor import ReplayPredictor
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One evaluated point in the knob space."""
+
+    assignment: dict
+    picasso: PicassoConfig
+    predicted_ips: float
+    source: str = "replay"
+    measured_ips: float | None = None
+
+    @property
+    def best_known_ips(self) -> float:
+        """Measured ips when available, predicted otherwise."""
+        if self.measured_ips is not None:
+            return self.measured_ips
+        return self.predicted_ips
+
+
+@dataclass(frozen=True)
+class SearchContext:
+    """Everything a strategy needs to search.
+
+    :param predictor: the trace-backed :class:`ReplayPredictor`.
+    :param space: the declared :class:`KnobSpace`.
+    :param base: the baseline config candidates derive from.
+    :param options: strategy-specific tunables (e.g. ``max_passes``
+        for coordinate descent, ``eta`` for successive halving).
+    """
+
+    predictor: ReplayPredictor
+    space: KnobSpace
+    base: PicassoConfig
+    options: dict = field(default_factory=dict)
+
+
+_STRATEGIES: dict = {}
+
+
+def register_strategy(name: str, fn, overwrite: bool = False) -> None:
+    """Register a search strategy under ``name``.
+
+    Mirrors :func:`repro.api.register_framework`: re-registration
+    raises unless ``overwrite=True``.
+    """
+    if not overwrite and name in _STRATEGIES:
+        raise ValueError(
+            f"strategy {name!r} already registered; pass "
+            "overwrite=True to replace it")
+    _STRATEGIES[name] = fn
+
+
+def strategies() -> tuple:
+    """Registered strategy names, sorted."""
+    return tuple(sorted(_STRATEGIES))
+
+
+def strategy(name: str):
+    """Look up a registered strategy by name."""
+    try:
+        return _STRATEGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {name!r}; registered: "
+            f"{list(strategies())}") from None
+
+
+def _evaluate(ctx: SearchContext, assignment: dict,
+              cache: dict) -> Candidate | None:
+    """Predict one assignment; ``None`` if the config rejects it."""
+    key = tuple(sorted(assignment.items()))
+    if key in cache:
+        return cache[key]
+    try:
+        picasso = ctx.space.apply(ctx.base, assignment)
+        prediction = ctx.predictor.predict(picasso)
+    except ValueError:
+        cache[key] = None
+        return None
+    candidate = Candidate(assignment=dict(assignment), picasso=picasso,
+                          predicted_ips=prediction.ips)
+    cache[key] = candidate
+    return candidate
+
+
+def rank_candidates(candidates) -> list:
+    """Best-first ranking with identical predictions collapsed.
+
+    Within a tied prediction the earliest-evaluated candidate wins
+    (deterministic, and for coordinate descent that is the simplest
+    assignment seen at that level).
+    """
+    ranked: list = []
+    seen: set = set()
+    ordered = sorted(enumerate(candidates),
+                     key=lambda pair: (-pair[1].best_known_ips,
+                                       pair[0]))
+    for _index, candidate in ordered:
+        fingerprint = (round(candidate.predicted_ips, 6),
+                       candidate.measured_ips)
+        if fingerprint in seen:
+            continue
+        seen.add(fingerprint)
+        ranked.append(candidate)
+    return ranked
+
+
+def coordinate_descent(ctx: SearchContext) -> list:
+    """Greedy one-knob-at-a-time descent over the knob space.
+
+    Starting from the base config, each pass sweeps every knob in
+    declaration order, adopting the value whose replay prediction is
+    best given the other knobs' current settings.  Converges (or hits
+    ``options["max_passes"]``, default 4) in
+    ``O(passes x sum(len(values)))`` replays instead of the full grid.
+    """
+    max_passes = int(ctx.options.get("max_passes", 4))
+    if max_passes < 1:
+        raise ValueError("max_passes must be >= 1")
+    cache: dict = {}
+    evaluated: list = []
+
+    def score(assignment: dict) -> float:
+        candidate = _evaluate(ctx, assignment, cache)
+        if candidate is None:
+            return float("-inf")
+        if candidate not in evaluated:
+            evaluated.append(candidate)
+        return candidate.predicted_ips
+
+    current: dict = {}
+    best = score(current)
+    for _pass in range(max_passes):
+        improved = False
+        for knob in ctx.space:
+            for value in knob.values:
+                if current.get(knob.name) == value:
+                    continue
+                proposal = dict(current)
+                proposal[knob.name] = value
+                ips = score(proposal)
+                if ips > best:
+                    best = ips
+                    current = proposal
+                    improved = True
+        if not improved:
+            break
+    return rank_candidates(evaluated)
+
+
+def successive_halving(ctx: SearchContext) -> list:
+    """Three-rung successive halving over the full grid.
+
+    Rung 0 screens every assignment with the analytic
+    busiest-resource lower bound (no replay), rung 1 replays the
+    survivors, rung 2 measures the finalists with a short warm-up
+    simulation (``options["warmup_iterations"]``, default 1 — the
+    paper's "collect statistics during warm-up" discipline).  Each
+    rung keeps roughly ``1/eta`` of its field
+    (``options["eta"]``, default 3).
+    """
+    eta = float(ctx.options.get("eta", 3))
+    if eta <= 1:
+        raise ValueError("eta must be > 1")
+    warmup_iterations = int(ctx.options.get("warmup_iterations", 1))
+    if warmup_iterations < 1:
+        raise ValueError("warmup_iterations must be >= 1")
+
+    # Rung 0: analytic bound over the whole grid (cheap — plan
+    # compilation only, no replay, no engine).
+    bounded: list = []
+    for assignment in ctx.space.assignments():
+        try:
+            picasso = ctx.space.apply(ctx.base, assignment)
+            bound = ctx.predictor.bound_seconds(picasso)
+        except ValueError:
+            continue
+        bounded.append((bound, len(bounded), assignment, picasso))
+    if not bounded:
+        return []
+    bounded.sort(key=lambda entry: (entry[0], entry[1]))
+    keep = max(1, round(len(bounded) / eta))
+    survivors = bounded[:keep]
+
+    # Rung 1: replay-predict the survivors.
+    cache: dict = {}
+    predicted: list = []
+    for _bound, _order, assignment, _picasso in survivors:
+        candidate = _evaluate(ctx, assignment, cache)
+        if candidate is not None:
+            predicted.append(candidate)
+    predicted = rank_candidates(predicted)
+    keep = max(1, round(len(predicted) / eta))
+    finalists, rest = predicted[:keep], predicted[keep:]
+
+    # Rung 2: short measured warm-up on the finalists, then one
+    # combined ranking — a finalist whose warm-up measurement falls
+    # below a lower rung's *prediction* drops below it, which is how
+    # the measured rung corrects replay over-predictions.
+    measured: list = []
+    for candidate in finalists:
+        ips = ctx.predictor.measure(candidate.picasso,
+                                    iterations=warmup_iterations)
+        measured.append(replace(candidate, measured_ips=ips,
+                                source="warmup"))
+    combined = measured + rest
+    combined.sort(key=lambda c: -c.best_known_ips)
+    return combined
+
+
+register_strategy("coordinate-descent", coordinate_descent)
+register_strategy("successive-halving", successive_halving)

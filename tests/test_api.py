@@ -3,7 +3,14 @@
 import pytest
 
 from repro import api
-from repro.api import FRAMEWORKS, ProfileResult, RunConfig, ServeConfig
+from repro.api import (
+    FRAMEWORKS,
+    ProfileResult,
+    RunConfig,
+    ServeConfig,
+    StreamConfig,
+)
+from repro.core.config import PicassoConfig
 from repro.faults import FaultEvent, FaultPlan
 from repro.embedding.hybrid_hash import CacheStats
 from repro.embedding.multilevel import TierStats
@@ -70,6 +77,49 @@ class TestRunConfig:
         assert rebuilt.fault_plan == plan
         assert rebuilt.model == TINY.model
         assert RunConfig.from_dict(TINY.as_dict()).fault_plan is None
+
+
+class TestConfigBase:
+    """The shared serialization contract all facade configs ride on."""
+
+    def test_unknown_key_rejected_everywhere(self):
+        for cls in (RunConfig, ServeConfig, StreamConfig,
+                    PicassoConfig):
+            with pytest.raises(ValueError,
+                               match=f"unknown {cls.__name__}"):
+                cls.from_dict({"not_a_field": 1})
+
+    def test_with_overrides_revalidates(self):
+        with pytest.raises(ValueError):
+            TINY.with_overrides(batch_size=0)
+        with pytest.raises(ValueError):
+            TINY.with_overrides(iterations=0)
+        with pytest.raises(ValueError):
+            ServeConfig().with_overrides(replicas=0)
+        with pytest.raises(ValueError):
+            PicassoConfig().with_overrides(micro_batches=0)
+
+    def test_picasso_field_round_trips(self):
+        config = TINY.with_overrides(
+            picasso=PicassoConfig(micro_batches=2,
+                                  hot_storage_bytes=float(1 << 30)))
+        snapshot = config.as_dict()
+        assert snapshot["picasso"]["micro_batches"] == 2
+        rebuilt = RunConfig.from_dict(snapshot)
+        assert rebuilt.picasso == config.picasso
+        assert rebuilt.as_dict() == snapshot
+
+    def test_parse_cluster_is_case_insensitive(self):
+        # as_dict emits the canonical upper-case testbed name; a
+        # round-tripped config must resolve it back.
+        assert api.parse_cluster("EFLOPS:2").num_nodes == 2
+        rebuilt = RunConfig.from_dict(TINY.as_dict())
+        assert rebuilt.resolved_cluster().num_nodes == 2
+
+    def test_stream_config_round_trips(self):
+        config = StreamConfig(requests=100, train_steps=10)
+        rebuilt = StreamConfig.from_dict(config.as_dict())
+        assert rebuilt.as_dict() == config.as_dict()
 
 
 class TestFrameworkRegistry:

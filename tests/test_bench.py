@@ -131,7 +131,8 @@ class TestCompare:
 class TestSuite:
     def test_registry_names(self):
         assert set(BENCHES) == {"training", "interleaving", "serving",
-                                "cache", "faults", "shards", "online"}
+                                "cache", "faults", "shards", "online",
+                                "replay"}
 
     def test_unknown_name_rejected(self):
         with pytest.raises(ValueError, match="unknown bench"):
