@@ -67,6 +67,7 @@ from repro.telemetry import (
     emit_alerts,
 )
 from repro.telemetry.span import ManualClock
+from repro.telemetry.provenance import build_manifest
 from repro.tuning import (
     KnobSpace,
     ReplayPredictor,
@@ -258,7 +259,20 @@ def run(config: RunConfig, model: ModelSpec | None = None) -> RunReport:
     """
     runner = framework_runner(config.framework)
     model = model if model is not None else config.build_model()
-    return runner(config, model, config.resolved_cluster())
+    report = runner(config, model, config.resolved_cluster())
+    result = getattr(report, "result", None)
+    if result is not None and hasattr(result, "provenance"):
+        result.provenance = run_manifest(config, report.name)
+    return report
+
+
+def run_manifest(config: RunConfig, report_name: str = "",
+                 kind: str = "run") -> dict:
+    """The provenance manifest dict for one :class:`RunConfig` run."""
+    knobs = config.picasso.as_dict() if config.picasso else {}
+    extra = {"report_name": report_name} if report_name else {}
+    return build_manifest(kind=kind, config=config.as_dict(),
+                          knobs=knobs, extra=extra).as_dict()
 
 
 @dataclass(frozen=True)
@@ -302,7 +316,7 @@ class ServeConfig(ConfigBase):
 
 
 def serve(config: ServeConfig, tracer=None,
-          metrics=None) -> ServingReport:
+          metrics=None, flight=None) -> ServingReport:
     """Execute one :class:`ServeConfig`; the serving facade.
 
     Exactly :func:`run`'s shape on the inference side: every entry
@@ -310,6 +324,9 @@ def serve(config: ServeConfig, tracer=None,
     as data and this function owns the wiring.  With a fault plan the
     returned report carries a ``degraded`` summary from the
     :class:`~repro.faults.degraded.DegradedModeController`.
+
+    :param flight: optional :class:`~repro.telemetry.FlightRecorder`;
+        batch spans and shed alerts land in its ring.
     """
     return simulate_serving(
         num_requests=config.requests,
@@ -326,7 +343,8 @@ def serve(config: ServeConfig, tracer=None,
         replicas=config.replicas,
         fault_plan=config.fault_plan,
         tracer=tracer,
-        metrics=metrics)
+        metrics=metrics,
+        flight=flight)
 
 
 @dataclass(frozen=True)
@@ -384,12 +402,17 @@ class StreamConfig(ConfigBase):
 
 
 def stream(config: StreamConfig, tracer=None,
-           metrics=None) -> StreamReport:
+           metrics=None, flight=None) -> StreamReport:
     """Execute one :class:`StreamConfig`; the continuous-loop facade.
 
     The train->publish->swap->serve loop of
     :func:`~repro.online.loop.simulate_stream` behind the same
     config-in / report-out contract as :func:`run` and :func:`serve`.
+    Every snapshot the loop publishes carries this config's provenance
+    manifest, so hot-swapped serving versions trace back to the run.
+
+    :param flight: optional :class:`~repro.telemetry.FlightRecorder`
+        shared by the trainer and the swap/shed paths.
     """
     return simulate_stream(
         num_requests=config.requests,
@@ -417,7 +440,10 @@ def stream(config: StreamConfig, tracer=None,
         hot_swaps=config.hot_swaps,
         variant=config.variant,
         tracer=tracer,
-        metrics=metrics)
+        metrics=metrics,
+        flight=flight,
+        provenance=build_manifest(
+            kind="stream", config=config.as_dict()).as_dict())
 
 
 @dataclass(frozen=True)
@@ -740,6 +766,9 @@ def profile(config: RunConfig, model: ModelSpec | None = None,
                          recorder=result.recorder,
                          makespan=result.makespan,
                          metadata={"workload": config.as_dict(),
-                                   "report_name": report.name})
+                                   "report_name": report.name,
+                                   "provenance": run_manifest(
+                                       config, report.name,
+                                       kind="profile")})
     return ProfileResult(report=report, critical_path=critical,
                          trace=trace, monitors=monitors)

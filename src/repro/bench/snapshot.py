@@ -57,6 +57,10 @@ class BenchSnapshot:
     :param tolerances: per-metric relative tolerance overrides; metrics
         absent here gate at :data:`DEFAULT_TOLERANCE`.  A tolerance of
         0 demands exact equality (use for counts).
+    :param provenance: run-manifest dict (see
+        :func:`repro.telemetry.provenance.build_manifest`) recording
+        which code produced the snapshot; informational — the gate
+        compares only metrics and the config fingerprint.
     """
 
     name: str
@@ -65,6 +69,7 @@ class BenchSnapshot:
     monitors: dict = field(default_factory=dict)
     tolerances: dict = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
+    provenance: dict = field(default_factory=dict)
 
     @property
     def fingerprint(self) -> str:
@@ -82,6 +87,7 @@ class BenchSnapshot:
             "metrics": self.metrics,
             "monitors": self.monitors,
             "tolerances": self.tolerances,
+            "provenance": self.provenance,
         }
 
     @classmethod
@@ -92,7 +98,8 @@ class BenchSnapshot:
             metrics=payload["metrics"],
             monitors=payload.get("monitors", {}),
             tolerances=payload.get("tolerances", {}),
-            schema_version=payload.get("schema_version", SCHEMA_VERSION))
+            schema_version=payload.get("schema_version", SCHEMA_VERSION),
+            provenance=payload.get("provenance", {}))
 
 
 def write_snapshot(snapshot: BenchSnapshot, directory: str) -> str:

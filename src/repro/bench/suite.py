@@ -39,6 +39,8 @@ catching regressions on every PR, not measuring peak numbers.
 
 from __future__ import annotations
 
+from dataclasses import replace as _replace
+
 import numpy as np
 
 from repro.api import RunConfig, ServeConfig, StreamConfig, \
@@ -88,9 +90,11 @@ def bench_training() -> BenchSnapshot:
         "pulse_phases": pulse["num_phases"],
         "pulse_idle_fraction": pulse["idle_fraction"],
         "overlap_ratio": overlap["overlap_ratio"],
+        "overlap_alerts": len(result.monitors["overlap"].alerts),
     }
     tolerances = {
         "task_count": 0.0,
+        "overlap_alerts": 0.0,
         "pulse_phases": 0.0,
         "pulse_idle_fraction": 0.10,
         "overlap_ratio": 0.10,
@@ -121,8 +125,14 @@ def bench_interleaving() -> BenchSnapshot:
         "overlapped_seconds_on": overlap_on["overlapped_seconds"],
         "ips_on": results["on"].report.ips,
         "ips_off": results["off"].report.ips,
+        "overlap_alerts_on": len(
+            results["on"].monitors["overlap"].alerts),
+        "overlap_alerts_off": len(
+            results["off"].monitors["overlap"].alerts),
     }
     tolerances = {
+        "overlap_alerts_on": 0.0,
+        "overlap_alerts_off": 0.0,
         "overlap_ratio_on": 0.10,
         "overlap_ratio_off": 0.10,
         "overlap_gain": 0.10,
@@ -519,10 +529,24 @@ BENCHES = {
 
 
 def run_benches(names=None) -> list:
-    """Build the selected (default: all) snapshots, in listed order."""
+    """Build the selected (default: all) snapshots, in listed order.
+
+    Every snapshot gets a ``kind="bench"`` provenance manifest (see
+    :func:`repro.telemetry.provenance.build_manifest`) stamped on the
+    way out, so committed baselines record the producing code.
+    """
+    from repro.telemetry.provenance import build_manifest
+
     selected = list(BENCHES) if names is None else list(names)
     unknown = [name for name in selected if name not in BENCHES]
     if unknown:
         raise ValueError(
             f"unknown bench(es) {unknown}; expected {list(BENCHES)}")
-    return [BENCHES[name]() for name in selected]
+    snapshots = []
+    for name in selected:
+        snapshot = BENCHES[name]()
+        manifest = build_manifest(kind="bench", config=snapshot.config,
+                                  extra={"bench": snapshot.name})
+        snapshots.append(_replace(snapshot,
+                                  provenance=manifest.as_dict()))
+    return snapshots

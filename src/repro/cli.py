@@ -22,7 +22,12 @@ Commands:
   space by replay prediction, validate the top candidates with real
   runs, report the winner plus prediction fidelity.
 * ``bench`` — run the regression benchmark suite (``bench run``) and
-  gate candidate snapshots against baselines (``bench compare``).
+  gate candidate snapshots against baselines (``bench compare``);
+  gate failures print the ranked metric-attribution table.
+* ``diff`` — differential observability: align two frozen traces and
+  attribute the makespan delta per op class / worker / resource
+  (text, JSON, Chrome overlay), or rank bench-snapshot deltas
+  against committed baselines with ``--bench``.
 * ``plan-shards`` — build a skew-aware embedding shard placement,
   price seeded traffic under hash vs planned ownership, and
   optionally write the lossless plan JSON.
@@ -69,6 +74,9 @@ from repro.sim import FrozenTrace
 from repro.sim.export import ascii_gantt
 from repro.telemetry import (
     class_deltas,
+    diff_bench_dirs,
+    diff_snapshots,
+    diff_traces,
     format_critical_path,
     validate_chrome_trace,
     write_chrome_trace,
@@ -335,7 +343,10 @@ def _load_or_record_trace(args) -> FrozenTrace:
     return FrozenTrace(records=tuple(report.result.task_records),
                        makespan=report.result.makespan,
                        metadata={"workload": config.as_dict(),
-                                 "report_name": report.name})
+                                 "report_name": report.name,
+                                 "provenance": api.run_manifest(
+                                     config, report.name,
+                                     kind="trace")})
 
 
 def cmd_replay(args) -> int:
@@ -457,11 +468,68 @@ def cmd_bench_compare(args) -> int:
         report = compare_snapshots(baseline, candidate)
         print(report.format())
         if not report.passed:
+            # A failed gate says *that* a metric moved; the ranked
+            # attribution table says which moves matter most.
+            print(diff_snapshots(baseline, candidate).format())
             failures += 1
     if failures:
         print(f"{failures} bench gate(s) FAILED")
         return 1
     print("all bench gates passed")
+    return 0
+
+
+def cmd_diff(args) -> int:
+    if args.bench:
+        base_dir = args.base or "benchmarks/baselines"
+        candidate_dir = args.candidate or "bench_out"
+        try:
+            diffs, base_only, candidate_only = diff_bench_dirs(
+                base_dir, candidate_dir)
+        except ValueError as error:
+            raise SystemExit(str(error))
+        if not diffs and not base_only and not candidate_only:
+            raise SystemExit(
+                f"no BENCH_*.json snapshots under {base_dir} "
+                f"or {candidate_dir}")
+        for diff in diffs:
+            print(diff.format(args.top))
+        for name in base_only:
+            print(f"baseline-only snapshot (no candidate): {name}")
+        for name in candidate_only:
+            print(f"candidate-only snapshot (no baseline): {name}")
+        if args.output:
+            payload = {"mode": "bench",
+                       "diffs": [diff.as_dict() for diff in diffs],
+                       "base_only": base_only,
+                       "candidate_only": candidate_only}
+            with open(args.output, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True, indent=1,
+                          separators=(",", ": "))
+                handle.write("\n")
+            print(f"bench diff JSON written to {args.output}")
+        return 0
+
+    if not args.base or not args.candidate:
+        raise SystemExit("diff needs BASE and CANDIDATE trace files "
+                         "(or --bench for snapshot directories)")
+    try:
+        base = FrozenTrace.load(args.base)
+        candidate = FrozenTrace.load(args.candidate)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"cannot load trace: {error}")
+    diff = diff_traces(base, candidate, top_k=args.top)
+    print(diff.format(args.top))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(diff.dumps())
+        print(f"diff JSON written to {args.output}")
+    if args.overlay:
+        payload = diff.overlay()
+        validate_chrome_trace(payload)
+        path = write_chrome_trace(args.overlay, payload)
+        print(f"chrome overlay written to {path} "
+              "(open in chrome://tracing or https://ui.perfetto.dev)")
     return 0
 
 
@@ -706,6 +774,31 @@ def build_parser() -> argparse.ArgumentParser:
     bench_compare.add_argument("--only",
                                help="comma-separated bench names")
     bench_compare.set_defaults(func=cmd_bench_compare)
+
+    diff = sub.add_parser(
+        "diff",
+        help="differential observability: attribute a makespan or "
+             "bench delta (trace-vs-trace or bench-vs-baseline)")
+    diff.add_argument("base", nargs="?",
+                      help="base frozen-trace JSON (or baseline "
+                           "snapshot dir with --bench; default "
+                           "benchmarks/baselines)")
+    diff.add_argument("candidate", nargs="?",
+                      help="candidate frozen-trace JSON (or candidate "
+                           "snapshot dir with --bench; default "
+                           "bench_out)")
+    diff.add_argument("--bench", action="store_true",
+                      help="diff BENCH_*.json snapshot directories "
+                           "instead of traces")
+    diff.add_argument("--top", type=int, default=10,
+                      help="rows in the ranked attribution table")
+    diff.add_argument("--output",
+                      help="write the diff report as canonical JSON")
+    diff.add_argument("--overlay",
+                      help="write a Chrome-trace overlay (base and "
+                           "candidate as separate processes; trace "
+                           "mode only)")
+    diff.set_defaults(func=cmd_diff)
 
     shards = sub.add_parser(
         "plan-shards",

@@ -12,6 +12,7 @@ import time
 
 from repro.experiments import (
     autotune,
+    diff_attribution,
     fault_recovery,
     fig01_gpu_util,
     fig03_distribution,
@@ -91,6 +92,8 @@ EXPERIMENTS = [
      lambda: monitor_health.run_monitor_health()),
     ("Overlap-ratio ablation",
      lambda: monitor_health.run_overlap_ablation()),
+    ("Trace-diff attribution (interleave_sets=1)",
+     lambda: diff_attribution.run_diff_attribution()),
 ]
 
 

@@ -24,7 +24,7 @@ the hot-swap serving path builds on.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
@@ -49,6 +49,11 @@ class DeltaSnapshot:
         int64 array of table row indices (hot rows first), ``values``
         the corresponding ``(len(rows), dim)`` weight rows.
     :param dense: dense parameter name -> full value array.
+    :param provenance: run-manifest dict (see
+        :func:`repro.telemetry.provenance.build_manifest`) identifying
+        the producing run; round-trips through save/load so a serving
+        replica can trace any published version back to its trainer
+        configuration.
     """
 
     version: int
@@ -56,6 +61,7 @@ class DeltaSnapshot:
     step: int
     tables: dict
     dense: dict
+    provenance: dict = field(default_factory=dict, compare=False)
 
     def changed_rows(self) -> int:
         """Total embedding rows carried across all tables."""
@@ -88,7 +94,8 @@ def _hot_first(rows: np.ndarray, counter) -> np.ndarray:
 
 def capture_delta(network: WdlNetwork, dirty_rows: dict, version: int,
                   base_version: int, step: int,
-                  counters: dict | None = None) -> DeltaSnapshot:
+                  counters: dict | None = None,
+                  provenance: dict | None = None) -> DeltaSnapshot:
     """Snapshot the current values of the dirty rows (plus dense).
 
     :param dirty_rows: field name -> iterable of table row indices
@@ -97,6 +104,7 @@ def capture_delta(network: WdlNetwork, dirty_rows: dict, version: int,
     :param counters: optional field name ->
         :class:`~repro.embedding.counter.FrequencyCounter` of observed
         *rows*; when given, each table's rows are ordered hot-first.
+    :param provenance: optional run manifest stamped onto the snapshot.
     """
     counters = counters or {}
     tables = {}
@@ -108,7 +116,8 @@ def capture_delta(network: WdlNetwork, dirty_rows: dict, version: int,
     dense = {name: value.copy()
              for name, (value, _grad) in network.parameters().items()}
     return DeltaSnapshot(version=version, base_version=base_version,
-                         step=step, tables=tables, dense=dense)
+                         step=step, tables=tables, dense=dense,
+                         provenance=dict(provenance or {}))
 
 
 def apply_delta(network: WdlNetwork, delta: DeltaSnapshot) -> None:
@@ -135,7 +144,8 @@ def save_delta(delta: DeltaSnapshot, path) -> Path:
         arrays[f"{_DENSE_PREFIX}{name}"] = value
     header = {"version": delta.version,
               "base_version": delta.base_version,
-              "step": delta.step}
+              "step": delta.step,
+              "provenance": delta.provenance}
     arrays["__header__"] = np.frombuffer(
         json.dumps(header).encode(), dtype=np.uint8)
     return atomic_savez(path, **arrays)
@@ -166,4 +176,5 @@ def load_delta(path) -> DeltaSnapshot:
     return DeltaSnapshot(version=int(header["version"]),
                          base_version=int(header["base_version"]),
                          step=int(header["step"]),
-                         tables=tables, dense=dense)
+                         tables=tables, dense=dense,
+                         provenance=header.get("provenance", {}))

@@ -136,7 +136,8 @@ def simulate_stream(num_requests: int = 4_000, seed: int = 0,
                     node: NodeSpec = GN6E_NODE,
                     dataset: DatasetSpec | None = None,
                     variant: str = "wdl",
-                    tracer=None, metrics=None) -> StreamReport:
+                    tracer=None, metrics=None, flight=None,
+                    provenance=None) -> StreamReport:
     """Run the continuous-training -> online-serving loop end to end.
 
     :param train_steps: cap on streaming-trainer steps (the trainer
@@ -153,6 +154,11 @@ def simulate_stream(num_requests: int = 4_000, seed: int = 0,
     :param tracer: optional :class:`repro.telemetry.Tracer`; swaps
         land as modeled-time spans on the ``alerts`` track, batches on
         the ``server`` track.
+    :param flight: optional :class:`repro.telemetry.FlightRecorder`;
+        trainer losses, hot-swap spans and shed alerts land in the
+        ring (sheds trigger dump-on-alert when a dump dir is set).
+    :param provenance: optional run-manifest dict stamped onto every
+        publish, so serving versions trace back to this run.
     """
     if train_step_s <= 0:
         raise ValueError(f"train_step_s must be > 0, got {train_step_s}")
@@ -184,7 +190,8 @@ def simulate_stream(num_requests: int = 4_000, seed: int = 0,
                                 drift_ids_per_step=drift_ids_per_step,
                                 seed=seed)
         trainer = StreamingTrainer(trainer_network, stream, registry,
-                                   publish_interval=publish_interval)
+                                   publish_interval=publish_interval,
+                                   flight=flight, provenance=provenance)
         swapper = HotSwapServer(server, registry, load_share=load_share)
         monitor = SloBurnRateMonitor(slo_ms=slo_s * 1e3,
                                      budget=burn_budget,
@@ -209,7 +216,7 @@ def simulate_stream(num_requests: int = 4_000, seed: int = 0,
             registry=registry, swapper=swapper, autoscaler=autoscaler,
             controls=controls, train_steps=train_steps,
             train_step_s=train_step_s, hot_swaps=hot_swaps,
-            tracer=tracer)
+            tracer=tracer, flight=flight)
     finally:
         if cleanup is not None:
             cleanup.cleanup()
@@ -226,7 +233,8 @@ def _advance_trainer(trainer: StreamingTrainer, now_s: float,
 
 def _run_loop(requests, batcher, policy, server, metrics, trainer,
               registry, swapper, autoscaler, controls, train_steps,
-              train_step_s, hot_swaps, tracer) -> StreamReport:
+              train_step_s, hot_swaps, tracer,
+              flight=None) -> StreamReport:
     """The modeled-time interleave behind :func:`simulate_stream`."""
     server_free = 0.0
     last_target = -1
@@ -267,6 +275,12 @@ def _run_loop(requests, batcher, policy, server, metrics, trainer,
                                "step": record.step,
                                "bytes": record.bytes_loaded,
                                "pause_s": pause})
+                if flight is not None:
+                    flight.record_span(
+                        f"swap/v{record.version}", record.requested_s,
+                        start + pause, track="alerts",
+                        attrs={"version": record.version,
+                               "pause_s": pause})
                 server_free += pause
                 start = max(batch.close_s, server_free)
 
@@ -290,6 +304,12 @@ def _run_loop(requests, batcher, policy, server, metrics, trainer,
             if tracer is not None:
                 tracer.instant("shed", timestamp=start, track="slo",
                                arrival_s=request.arrival_s)
+        if flight is not None and shed:
+            from repro.telemetry.monitor import Alert
+            flight.record_alert(Alert(
+                time_s=start, monitor="slo", severity="warning",
+                message=f"{len(shed)} request(s) shed at t={start:.4f}s",
+                value=float(len(shed)), threshold=0.0, name="shed"))
         if not admitted:
             continue
         outcome = server.process(admitted)

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.nn.network import WdlNetwork
@@ -56,12 +56,17 @@ class SnapshotVersion:
     nbytes: int
     #: the version this delta chains on; ``None`` for full bases.
     base_version: int | None = None
+    #: run manifest of the producing trainer (see
+    #: :func:`repro.telemetry.provenance.build_manifest`); persisted in
+    #: the manifest so serving versions trace back to their run.
+    provenance: dict = field(default_factory=dict, compare=False)
 
     def as_dict(self) -> dict:
         return {"version": self.version, "kind": self.kind,
                 "step": self.step, "filename": self.filename,
                 "nbytes": self.nbytes,
-                "base_version": self.base_version}
+                "base_version": self.base_version,
+                "provenance": self.provenance}
 
     @classmethod
     def from_dict(cls, payload: dict) -> "SnapshotVersion":
@@ -70,7 +75,8 @@ class SnapshotVersion:
                    step=int(payload["step"]),
                    filename=str(payload["filename"]),
                    nbytes=int(payload["nbytes"]),
-                   base_version=payload.get("base_version"))
+                   base_version=payload.get("base_version"),
+                   provenance=payload.get("provenance", {}))
 
 
 class SnapshotRegistry:
@@ -183,27 +189,33 @@ class SnapshotRegistry:
 
     def publish(self, network: WdlNetwork, step: int,
                 dirty_rows: dict | None = None,
-                counters: dict | None = None) -> SnapshotVersion:
+                counters: dict | None = None,
+                provenance: dict | None = None) -> SnapshotVersion:
         """Publish the network's current weights as the next version.
 
         Writes a delta when a base exists, ``dirty_rows`` is given and
         the chain has room; otherwise a full checkpoint (first publish,
         compaction point, or an explicit full via ``dirty_rows=None``).
         Compaction garbage-collects everything older than the new base.
+
+        :param provenance: optional run manifest stamped onto both the
+            payload (delta header) and the manifest entry.
         """
         version = self._next_version
         latest = self.latest()
+        provenance = dict(provenance or {})
         wants_delta = (dirty_rows is not None and latest is not None
                        and self.chain_length() < self.max_chain)
         if wants_delta:
             delta = capture_delta(network, dirty_rows, version=version,
                                   base_version=latest.version, step=step,
-                                  counters=counters)
+                                  counters=counters,
+                                  provenance=provenance)
             path = save_delta(delta, self.root / f"v{version:06d}_delta")
             entry = SnapshotVersion(
                 version=version, kind="delta", step=step,
                 filename=path.name, nbytes=path.stat().st_size,
-                base_version=latest.version)
+                base_version=latest.version, provenance=provenance)
         else:
             path = resolve_checkpoint_path(
                 self.root / f"v{version:06d}_full")
@@ -211,7 +223,8 @@ class SnapshotRegistry:
                             metadata={"version": version})
             entry = SnapshotVersion(
                 version=version, kind="full", step=step,
-                filename=path.name, nbytes=path.stat().st_size)
+                filename=path.name, nbytes=path.stat().st_size,
+                provenance=provenance)
         self._versions[version] = entry
         self._next_version = version + 1
         if entry.kind == "full":

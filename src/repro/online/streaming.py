@@ -75,11 +75,16 @@ class StreamingTrainer:
     :param publish_interval: steps between publishes (> 0).
     :param optimizer/tracer/registry_metrics: forwarded to the inner
         :class:`~repro.training.trainer.SyncTrainer`.
+    :param flight: optional :class:`repro.telemetry.FlightRecorder`
+        forwarded to the inner trainer (loss samples, step guard).
+    :param provenance: optional run-manifest dict stamped onto every
+        publish (delta headers + registry manifest entries).
     """
 
     def __init__(self, network: WdlNetwork, stream: DriftingStream,
                  registry: SnapshotRegistry, publish_interval: int = 50,
-                 optimizer=None, tracer=None, registry_metrics=None):
+                 optimizer=None, tracer=None, registry_metrics=None,
+                 flight=None, provenance=None):
         if publish_interval < 1:
             raise ValueError(
                 f"publish_interval must be >= 1, got {publish_interval}")
@@ -87,9 +92,11 @@ class StreamingTrainer:
         self.stream = stream
         self.registry = registry
         self.publish_interval = int(publish_interval)
+        self.provenance = dict(provenance or {})
         self._trainer = SyncTrainer(network, optimizer=optimizer,
                                     tracer=tracer,
-                                    registry=registry_metrics)
+                                    registry=registry_metrics,
+                                    flight=flight)
         self.stats = StreamingTrainerStats()
         self.publishes: list = []
         self._dirty: dict = {name: set() for name in network.embeddings}
@@ -151,7 +158,7 @@ class StreamingTrainer:
                      for name, rows in self._dirty.items()}
         entry = self.registry.publish(
             self.network, step=self.stats.steps, dirty_rows=dirty,
-            counters=self._heat)
+            counters=self._heat, provenance=self.provenance)
         record = PublishRecord(version=entry, step=self.stats.steps,
                                dirty_rows=self.dirty_row_count())
         self.publishes.append(record)

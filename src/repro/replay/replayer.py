@@ -117,11 +117,20 @@ class TraceReplayer:
     def makespan(self) -> float:
         return self._makespan
 
-    def replay(self, hooks: CostHooks | None = None) -> ReplayResult:
-        """Re-time the DAG under ``hooks`` (default: identity)."""
-        hooks = hooks or CostHooks()
-        scales = hooks.table()
-        identity = hooks.identity
+    def replay(self, hooks: CostHooks | None = None,
+               record_hooks=None) -> ReplayResult:
+        """Re-time the DAG under ``hooks`` (default: identity).
+
+        :param record_hooks: optional ``record -> CostHooks | None``
+            override — a record for which it returns hooks is re-timed
+            under those instead of the global ``hooks``.  This is how
+            op-targeted what-ifs are expressed ("scale only the
+            shuffle ops by 1.3x"): :class:`CostHooks` itself scales
+            resource *kinds*, which every op shares.
+        """
+        base_hooks = hooks or CostHooks()
+        base_scales = base_hooks.table()
+        base_identity = base_hooks.identity
         finish: dict = {}
         records = []
         makespan = 0.0
@@ -131,6 +140,15 @@ class TraceReplayer:
                 end = finish.get(pred)
                 if end is not None and end > ready:
                     ready = end
+            hooks = base_hooks
+            scales = base_scales
+            identity = base_identity
+            if record_hooks is not None:
+                override = record_hooks(record)
+                if override is not None:
+                    hooks = override
+                    scales = override.table()
+                    identity = override.identity
             if identity and ready == record.start:
                 # Nothing upstream moved and no scale applies: the
                 # recorded timing is already the replayed timing.
@@ -144,8 +162,8 @@ class TraceReplayer:
                 makespan = replayed.end
             records.append(replayed)
         return ReplayResult(records=tuple(records), makespan=makespan,
-                            base_makespan=self._makespan, hooks=hooks,
-                            finish_times=finish)
+                            base_makespan=self._makespan,
+                            hooks=base_hooks, finish_times=finish)
 
     @staticmethod
     def _retime(record: TaskRecord, ready: float, hooks: CostHooks,

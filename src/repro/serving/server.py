@@ -249,7 +249,8 @@ class ModelServer:
 
 def serve_trace(requests: list, server: ModelServer,
                 batcher: MicroBatcher, policy: SloPolicy,
-                tracer=None, metrics=None, faults=None) -> ServingReport:
+                tracer=None, metrics=None, faults=None,
+                flight=None) -> ServingReport:
     """Run a request trace through batcher -> SLO gate -> server.
 
     A single-server queue in modeled time: batch ``i`` starts at
@@ -271,6 +272,9 @@ def serve_trace(requests: list, server: ModelServer,
         down and its ``admit`` hook tightens the deadline, so replica
         loss surfaces as shed rate, never as an unserved outage.  Its
         ``summary()`` lands on the report's ``degraded`` field.
+    :param flight: optional :class:`repro.telemetry.FlightRecorder`;
+        batch spans and shed alerts land in its ring (a shed triggers
+        a dump-on-alert with the last retention window of context).
     """
     metrics = metrics if metrics is not None else ServingMetrics()
     server_free = 0.0
@@ -287,6 +291,12 @@ def serve_trace(requests: list, server: ModelServer,
             if tracer is not None:
                 tracer.instant("shed", timestamp=start, track="slo",
                                arrival_s=request.arrival_s)
+        if flight is not None and shed:
+            from repro.telemetry.monitor import Alert
+            flight.record_alert(Alert(
+                time_s=start, monitor="slo", severity="warning",
+                message=f"{len(shed)} request(s) shed at t={start:.4f}s",
+                value=float(len(shed)), threshold=0.0, name="shed"))
         if not admitted:
             continue
         outcome = server.process(admitted)
@@ -314,6 +324,10 @@ def serve_trace(requests: list, server: ModelServer,
                                    "micro_batches": outcome.micro_batches,
                                    "fetch_s": outcome.fetch_s,
                                    "compute_s": outcome.compute_s})
+        if flight is not None:
+            flight.record_span(f"batch{index}", start, completion,
+                               track="server",
+                               attrs={"size": len(admitted)})
         server_free = completion
     report = metrics.report(cache_hit_ratio=server.cache_hit_ratio())
     if faults is not None:
@@ -333,7 +347,8 @@ def simulate_serving(num_requests: int = 10_000, seed: int = 0,
                      dataset: DatasetSpec | None = None,
                      variant: str = "wdl",
                      replicas: int = 1, fault_plan=None,
-                     tracer=None, metrics=None) -> ServingReport:
+                     tracer=None, metrics=None,
+                     flight=None) -> ServingReport:
     """End-to-end serving simulation; the facade's entry point.
 
     Builds traffic, cache hierarchy (``cache`` in :data:`CACHE_KINDS`),
@@ -374,4 +389,4 @@ def simulate_serving(num_requests: int = 10_000, seed: int = 0,
         from repro.faults.degraded import DegradedModeController
         faults = DegradedModeController(fault_plan, replicas=replicas)
     return serve_trace(requests, server, batcher, policy, tracer=tracer,
-                       metrics=metrics, faults=faults)
+                       metrics=metrics, faults=faults, flight=flight)

@@ -131,6 +131,9 @@ class SimResult:
     finish_times: dict = field(default_factory=dict)
     #: populated when the engine ran with ``record_tasks=True``.
     task_records: list = field(default_factory=list)
+    #: run provenance manifest (see :mod:`repro.telemetry.provenance`),
+    #: stamped by the :func:`repro.api.run` facade.
+    provenance: dict = field(default_factory=dict)
 
     def busy_fraction(self, kind: ResourceKind) -> float:
         """Fraction of the makespan the resource was occupied at all."""

@@ -24,6 +24,15 @@ from repro.telemetry.critical_path import (
     class_deltas,
     format_critical_path,
 )
+from repro.telemetry.diff import (
+    BenchDiff,
+    DiffEntry,
+    TraceDiff,
+    align_records,
+    diff_bench_dirs,
+    diff_snapshots,
+    diff_traces,
+)
 from repro.telemetry.metrics import Counter, Gauge, MetricsRegistry
 from repro.telemetry.monitor import (
     Alert,
@@ -35,6 +44,17 @@ from repro.telemetry.monitor import (
     SloBurnRateMonitor,
     UtilizationPhase,
     emit_alerts,
+)
+from repro.telemetry.provenance import (
+    RunManifest,
+    build_manifest,
+    config_fingerprint,
+    git_describe,
+)
+from repro.telemetry.recorder import (
+    AnomalyDetector,
+    FlightRecorder,
+    annotate_timeseries,
 )
 from repro.telemetry.span import ManualClock, Span, Tracer, maybe_span
 from repro.telemetry.stats import (
@@ -53,10 +73,14 @@ from repro.telemetry.timeseries import (
 
 __all__ = [
     "Alert",
+    "AnomalyDetector",
+    "BenchDiff",
     "CacheHealthMonitor",
     "Counter",
     "CriticalPathReport",
+    "DiffEntry",
     "Ewma",
+    "FlightRecorder",
     "FixedWindowAggregator",
     "Gauge",
     "Histogram",
@@ -68,18 +92,28 @@ __all__ = [
     "PathStep",
     "PulseDetector",
     "RollingWindow",
+    "RunManifest",
     "SkewMonitor",
     "SloBurnRateMonitor",
     "Span",
     "Stats",
+    "TraceDiff",
     "Tracer",
     "UtilizationPhase",
     "WindowStats",
+    "align_records",
     "analyze_critical_path",
+    "annotate_timeseries",
+    "build_manifest",
     "chrome_trace",
     "class_deltas",
+    "config_fingerprint",
+    "diff_bench_dirs",
+    "diff_snapshots",
+    "diff_traces",
     "emit_alerts",
     "format_critical_path",
+    "git_describe",
     "is_stats",
     "maybe_span",
     "merge_all",

@@ -183,12 +183,26 @@ def validate_chrome_trace(payload: dict) -> int:
     number of events otherwise.  Shared by the unit tests and the CI
     smoke step, and intentionally strict about the fields Perfetto's
     JSON importer reads (``name``/``ph``/``pid``/``tid``/``ts``).
+
+    Beyond per-event shape it enforces the cross-event invariants the
+    diff-overlay and flight-recorder payloads rely on: counter events
+    keep non-decreasing ``ts`` within their ``(pid, tid, name)``
+    track, counters named ``cumulative...`` keep non-decreasing
+    values, every pid with events carries ``process_name`` metadata,
+    and every ``(pid, tid)`` with events carries ``thread_name``
+    metadata.
     """
     if not isinstance(payload, dict):
         raise ValueError("payload must be a JSON object")
     events = payload.get("traceEvents")
     if not isinstance(events, list) or not events:
         raise ValueError("traceEvents must be a non-empty array")
+    named_processes = set()  # pids with a process_name metadata event
+    named_threads = set()  # (pid, tid) with a thread_name metadata event
+    used_pids: dict = {}  # pid -> first non-M event index
+    used_threads: dict = {}  # (pid, tid) -> first non-M event index
+    counter_ts: dict = {}  # (pid, tid, name) -> last ts
+    counter_values: dict = {}  # (pid, tid, name) -> last args values
     for index, event in enumerate(events):
         where = f"traceEvents[{index}]"
         if not isinstance(event, dict):
@@ -201,14 +215,58 @@ def validate_chrome_trace(payload: dict) -> int:
         for key in ("pid", "tid"):
             if not isinstance(event.get(key), int):
                 raise ValueError(f"{where}: {key} must be an integer")
-        if phase != "M":
-            ts = event.get("ts")
-            if not isinstance(ts, (int, float)) or ts < 0:
-                raise ValueError(f"{where}: ts must be a number >= 0")
+        if phase == "M":
+            if event["name"] == "process_name":
+                named_processes.add(event["pid"])
+            elif event["name"] == "thread_name":
+                named_threads.add((event["pid"], event["tid"]))
+            continue
+        used_pids.setdefault(event["pid"], index)
+        used_threads.setdefault((event["pid"], event["tid"]), index)
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ValueError(f"{where}: ts must be a number >= 0")
         if phase == "X":
             dur = event.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
                 raise ValueError(f"{where}: dur must be a number >= 0")
-        if phase == "C" and not isinstance(event.get("args"), dict):
-            raise ValueError(f"{where}: counter events need args")
+        if phase == "C":
+            args = event.get("args")
+            if not isinstance(args, dict):
+                raise ValueError(f"{where}: counter events need args")
+            track = (event["pid"], event["tid"], event["name"])
+            last_ts = counter_ts.get(track)
+            if last_ts is not None and ts < last_ts:
+                raise ValueError(
+                    f"{where}: counter {event['name']!r} ts {ts} "
+                    f"regresses below {last_ts} on its track")
+            counter_ts[track] = ts
+            if "cumulative" in event["name"]:
+                # Cumulative counters (diff overlays and the like)
+                # promise value monotonicity, not just ts order.
+                previous = counter_values.get(track)
+                for key in sorted(args):
+                    value = args[key]
+                    if not isinstance(value, (int, float)):
+                        raise ValueError(
+                            f"{where}: cumulative counter "
+                            f"{event['name']!r} has non-numeric "
+                            f"series {key!r}")
+                    if (previous is not None
+                            and value < previous.get(key, value)):
+                        raise ValueError(
+                            f"{where}: cumulative counter "
+                            f"{event['name']!r} series {key!r} "
+                            f"decreases ({previous[key]} -> {value})")
+                counter_values[track] = dict(args)
+    for pid, index in sorted(used_pids.items()):
+        if pid not in named_processes:
+            raise ValueError(
+                f"traceEvents[{index}]: pid {pid} has events but no "
+                "process_name metadata")
+    for (pid, tid), index in sorted(used_threads.items()):
+        if (pid, tid) not in named_threads:
+            raise ValueError(
+                f"traceEvents[{index}]: thread ({pid}, {tid}) has "
+                "events but no thread_name metadata")
     return len(events)

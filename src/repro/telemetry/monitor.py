@@ -30,7 +30,7 @@ up on the Chrome trace exactly where the run went unhealthy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.sim.metrics import (
     DEFAULT_BUCKET_SECONDS,
@@ -54,7 +54,15 @@ ALERT_TRACK = "alerts"
 
 @dataclass(frozen=True)
 class Alert:
-    """One threshold crossing, anchored to a moment of the run."""
+    """One threshold crossing, anchored to a moment of the run.
+
+    :param name: stable machine-readable identifier (``low_overlap``,
+        ``anomaly``, ...) for tooling that must not parse the human
+        message; empty for alerts predating names.
+    :param data: structured figures backing the message (e.g. the
+        exposed-seconds behind a ``low_overlap`` alert), so downstream
+        consumers read numbers instead of regexing prose.
+    """
 
     time_s: float
     monitor: str
@@ -62,6 +70,8 @@ class Alert:
     message: str
     value: float
     threshold: float
+    name: str = ""
+    data: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {
@@ -71,6 +81,8 @@ class Alert:
             "message": self.message,
             "value": self.value,
             "threshold": self.threshold,
+            "name": self.name,
+            "data": dict(self.data),
         }
 
 
@@ -293,7 +305,11 @@ class OverlapMonitor:
                          f"{comm_total - hidden:.4f}s of communication "
                          "exposed"),
                 value=ratio,
-                threshold=self.min_overlap_ratio))
+                threshold=self.min_overlap_ratio,
+                name="low_overlap",
+                data={"exposed_seconds": comm_total - hidden,
+                      "comm_seconds": comm_total,
+                      "overlapped_seconds": hidden}))
         summary = {
             "comm_seconds": comm_total,
             "overlapped_seconds": hidden,
@@ -543,12 +559,14 @@ def emit_alerts(tracer, reports) -> int:
     emitted = 0
     for report in reports:
         for alert in report.alerts:
+            extra = {"alert": alert.name} if alert.name else {}
             tracer.instant(
                 f"{alert.monitor}:{alert.severity}",
                 timestamp=alert.time_s,
                 track=ALERT_TRACK,
                 message=alert.message,
                 value=alert.value,
-                threshold=alert.threshold)
+                threshold=alert.threshold,
+                **extra)
             emitted += 1
     return emitted

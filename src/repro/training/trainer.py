@@ -68,7 +68,8 @@ class SyncTrainer:
     """
 
     def __init__(self, network: WdlNetwork, optimizer=None, tracer=None,
-                 registry=None, loss_alpha: float = 0.1):
+                 registry=None, loss_alpha: float = 0.1, flight=None,
+                 anomaly=None):
         """:param tracer: optional :class:`repro.telemetry.Tracer`;
         each step becomes a wall-clock span on the ``train`` track.
         :param registry: optional
@@ -76,12 +77,26 @@ class SyncTrainer:
             its ``train/steps`` counter and ``train/loss_ewma`` gauge
             (EWMA-smoothed with ``loss_alpha``) current, so a long run
             is monitorable mid-flight.
+        :param flight: optional
+            :class:`repro.telemetry.FlightRecorder`; every step's loss
+            lands in the ring as a sample (step index as modeled
+            time), a step that raises dumps the ring before the
+            exception propagates, and loss anomalies from ``anomaly``
+            dump as alerts.
+        :param anomaly: optional
+            :class:`repro.telemetry.AnomalyDetector` over the loss
+            stream; defaults to a z>4 detector when ``flight`` is set.
         """
         self.network = network
         self.optimizer = optimizer or Adagrad(lr=0.05)
         self.tracer = tracer
         self.registry = registry
         self.loss_ewma = Ewma(alpha=loss_alpha)
+        self.flight = flight
+        if anomaly is None and flight is not None:
+            from repro.telemetry.recorder import AnomalyDetector
+            anomaly = AnomalyDetector("train/loss", z_threshold=4.0)
+        self.anomaly = anomaly
 
     def step(self, batch, index: int = 0) -> float:
         """One optimizer step on ``batch``; returns its loss.
@@ -93,13 +108,26 @@ class SyncTrainer:
         """
         with maybe_span(self.tracer, "train/step", category="training",
                         track="train", step=index) as span:
-            loss = self.network.train_step(batch, self.optimizer)
+            if self.flight is not None:
+                with self.flight.watch(time_s=float(index),
+                                       label="train/step"):
+                    loss = self.network.train_step(batch,
+                                                   self.optimizer)
+            else:
+                loss = self.network.train_step(batch, self.optimizer)
             if span is not None:
                 span.attrs["loss"] = loss
         smoothed = self.loss_ewma.update(loss)
         if self.registry is not None:
             self.registry.counter("train/steps").inc()
             self.registry.gauge("train/loss_ewma").set(smoothed)
+        if self.flight is not None:
+            self.flight.record_sample("train/loss", float(index), loss,
+                                      track="train")
+        if self.anomaly is not None:
+            alert = self.anomaly.observe(float(index), loss)
+            if alert is not None and self.flight is not None:
+                self.flight.record_alert(alert)
         return loss
 
     def train(self, iterator, steps: int) -> list:

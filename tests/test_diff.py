@@ -1,0 +1,472 @@
+"""Tests for differential observability: trace diff, flight recorder,
+provenance manifests and the bench-diff attribution report.
+
+The acceptance bar from the PR issue lives here: diffing a frozen
+trace against a replay whose Shuffle ops were scaled 1.3x must
+attribute >= 90% of the makespan delta to the shuffle op classes.
+"""
+
+import json
+
+import pytest
+
+from repro.api import RunConfig, run, run_manifest
+from repro.bench.snapshot import BenchSnapshot
+from repro.replay import CostHooks, TraceReplayer
+from repro.sim import FrozenTrace, TaskRecord
+from repro.sim.resource import ResourceKind
+from repro.telemetry import (
+    Alert,
+    AnomalyDetector,
+    FlightRecorder,
+    RunManifest,
+    align_records,
+    annotate_timeseries,
+    build_manifest,
+    config_fingerprint,
+    diff_snapshots,
+    diff_traces,
+    git_describe,
+    validate_chrome_trace,
+)
+from repro.telemetry.diff import (
+    ALIGN_BY_CLASS,
+    ALIGN_BY_NAME,
+    SHARED_WORKER,
+    op_basename,
+    worker_of,
+)
+
+BASE = RunConfig(model="W&D", dataset="Product-1", scale=0.02,
+                 cluster="eflops:2", batch_size=2_000, iterations=2,
+                 record_tasks=True)
+
+_SM = ResourceKind.GPU_SM.value
+
+
+@pytest.fixture(scope="module")
+def base_trace():
+    report = run(BASE)
+    return FrozenTrace(records=tuple(report.result.task_records),
+                       makespan=report.result.makespan,
+                       metadata={"provenance": report.result.provenance})
+
+
+@pytest.fixture(scope="module")
+def shuffle_scaled(base_trace):
+    """Replay with every shuffle op's costs scaled 1.3x."""
+    hooks = CostHooks(compute=1.3, memory=1.3, communication=1.3,
+                      launch=1.3, wait_model="frozen")
+
+    def per_record(record):
+        if "shuffle" in op_basename(record.name):
+            return hooks
+        return None
+
+    replayer = TraceReplayer(base_trace.records,
+                             makespan=base_trace.makespan)
+    result = replayer.replay(record_hooks=per_record)
+    return FrozenTrace(records=tuple(result.records),
+                       makespan=result.makespan)
+
+
+def _record(name, start, end, kind=_SM, wait=0.0, preds=()):
+    return TaskRecord(name=name, start=start, end=end, preds=preds,
+                      segments=((kind, start + wait, end),))
+
+
+def _tiny_dataset():
+    from repro.data.spec import DatasetSpec, FieldSpec
+    return DatasetSpec(name="diff", num_numeric=2, fields=tuple(
+        FieldSpec(name=f"cat_{index}", vocab_size=400,
+                  embedding_dim=8, zipf_exponent=1.15)
+        for index in range(2)))
+
+
+def _tiny_network(seed=0):
+    from repro.nn.network import WdlNetwork
+    return WdlNetwork(_tiny_dataset(), variant="wdl", embedding_dim=8,
+                      vocab_rows=400, mlp_layers=(16,), seed=seed)
+
+
+class TestIdentity:
+    def test_worker_of(self):
+        assert worker_of("it0/s3/dim32.0/shuffle_stitch") == "s3"
+        assert worker_of("dataset/read") == SHARED_WORKER
+
+    def test_op_basename(self):
+        assert op_basename("it0/s3/dim32.0/gather") == "gather"
+        assert op_basename("barrier") == "barrier"
+
+
+class TestAlignment:
+    def test_identical_sets_align_by_name(self):
+        records = [_record("it0/s0/a", 0.0, 1.0),
+                   _record("it0/s1/a", 0.0, 1.0)]
+        pairs, base_only, cand_only = align_records(records, records)
+        assert len(pairs) == 2
+        assert all(pair.how == ALIGN_BY_NAME for pair in pairs)
+        assert base_only == [] and cand_only == []
+
+    def test_renamed_instances_align_by_class(self):
+        base = [_record("it0/s0/gather", 0.0, 1.0)]
+        cand = [_record("it1/s0/gather", 0.0, 1.5)]
+        pairs, base_only, cand_only = align_records(base, cand)
+        assert len(pairs) == 1
+        assert pairs[0].how == ALIGN_BY_CLASS
+        assert base_only == [] and cand_only == []
+
+    def test_disjoint_sets_fall_to_unmatched(self):
+        base = [_record("it0/s0/gather", 0.0, 1.0)]
+        cand = [_record("it0/s0/scatter", 0.0, 1.0)]
+        pairs, base_only, cand_only = align_records(base, cand)
+        assert pairs == []
+        assert [r.name for r in base_only] == ["it0/s0/gather"]
+        assert [r.name for r in cand_only] == ["it0/s0/scatter"]
+
+    def test_class_pairing_is_start_ordered(self):
+        base = [_record("it0/s0/a", 0.0, 1.0),
+                _record("it1/s0/a", 2.0, 3.0)]
+        cand = [_record("it2/s0/a", 2.5, 3.5),
+                _record("it3/s0/a", 0.5, 1.5)]
+        pairs, _, _ = align_records(base, cand)
+        matched = {pair.base.name: pair.candidate.name
+                   for pair in pairs}
+        assert matched == {"it0/s0/a": "it3/s0/a",
+                           "it1/s0/a": "it2/s0/a"}
+
+
+class TestTraceDiffZero:
+    def test_identical_traces_diff_to_exact_zero(self, base_trace):
+        diff = diff_traces(base_trace, base_trace)
+        assert diff.makespan_delta == 0.0  # exact, not approx
+        assert all(entry.path_delta == 0.0 for entry in diff.entries)
+        assert all(entry.share == 0.0 for entry in diff.entries)
+        assert all(row["delta"] == 0.0
+                   for row in diff.by_worker.values())
+        assert diff.alignment["class"] == 0
+        assert diff.alignment["base_only"] == 0
+        assert diff.alignment["candidate_only"] == 0
+        assert diff.alignment["name"] == len(base_trace.records)
+
+    def test_unperturbed_replay_diffs_to_zero(self, base_trace):
+        replayed = TraceReplayer(base_trace.records,
+                                 makespan=base_trace.makespan).replay()
+        again = FrozenTrace(records=tuple(replayed.records),
+                            makespan=replayed.makespan)
+        diff = diff_traces(base_trace, again)
+        assert diff.makespan_delta == 0.0
+
+    def test_dumps_is_byte_stable(self, base_trace, shuffle_scaled):
+        first = diff_traces(base_trace, shuffle_scaled).dumps()
+        second = diff_traces(base_trace, shuffle_scaled).dumps()
+        assert first == second
+        json.loads(first)  # strict JSON
+
+
+class TestShuffleAttribution:
+    """The PR acceptance bar: >= 90% of the delta lands on shuffle."""
+
+    def test_attribution_share(self, base_trace, shuffle_scaled):
+        diff = diff_traces(base_trace, shuffle_scaled)
+        assert diff.makespan_delta > 0.0
+        assert diff.explained_share("shuffle") >= 0.9
+
+    def test_shares_partition_the_delta(self, base_trace,
+                                        shuffle_scaled):
+        diff = diff_traces(base_trace, shuffle_scaled)
+        assert sum(entry.share for entry in diff.entries) \
+            == pytest.approx(1.0)
+        assert sum(row["share"] for row in diff.by_worker.values()) \
+            == pytest.approx(1.0)
+
+    def test_top_entry_is_a_shuffle_op(self, base_trace,
+                                       shuffle_scaled):
+        diff = diff_traces(base_trace, shuffle_scaled)
+        assert "shuffle" in diff.entries[0].label
+
+    def test_format_mentions_the_culprit(self, base_trace,
+                                         shuffle_scaled):
+        text = diff_traces(base_trace, shuffle_scaled).format()
+        assert "shuffle" in text
+        assert "ranked attribution" in text
+
+    def test_overlay_validates(self, base_trace, shuffle_scaled):
+        overlay = diff_traces(base_trace, shuffle_scaled).overlay()
+        validate_chrome_trace(overlay)
+        pids = {event["pid"] for event in overlay["traceEvents"]}
+        assert pids == {0, 1, 2}
+
+
+class TestProvenance:
+    def test_manifest_round_trip(self):
+        manifest = build_manifest(kind="run",
+                                  config={"model": "W&D", "scale": 1.0},
+                                  knobs={"interleaving": True})
+        payload = manifest.as_dict()
+        restored = RunManifest.from_dict(payload)
+        assert restored.as_dict() == payload
+
+    def test_schema_mismatch_raises(self):
+        payload = build_manifest().as_dict()
+        payload["schema_version"] = 999
+        with pytest.raises(ValueError):
+            RunManifest.from_dict(payload)
+
+    def test_fingerprint_tracks_config(self):
+        one = config_fingerprint({"a": 1})
+        assert one == config_fingerprint({"a": 1})
+        assert one != config_fingerprint({"a": 2})
+
+    def test_git_describe_is_cached_and_stable(self):
+        assert git_describe() == git_describe()
+        assert isinstance(git_describe(), str)
+
+    def test_run_stamps_result_provenance(self, base_trace):
+        prov = base_trace.metadata["provenance"]
+        assert prov["kind"] == "run"
+        assert prov["config"]["model"] == "W&D"
+        assert prov["config_fingerprint"] \
+            == config_fingerprint(prov["config"])
+
+    def test_run_manifest_helper(self):
+        payload = run_manifest(BASE, "PICASSO", kind="trace")
+        assert payload["kind"] == "trace"
+        assert payload["extra"]["report_name"] == "PICASSO"
+
+    def test_diff_carries_provenance(self, base_trace, shuffle_scaled):
+        diff = diff_traces(base_trace, shuffle_scaled)
+        assert diff.base_provenance["kind"] == "run"
+        assert diff.candidate_provenance == {}
+
+
+class TestFlightRecorder:
+    def test_ring_never_exceeds_capacity(self):
+        recorder = FlightRecorder(capacity=16)
+        for index in range(100):
+            recorder.record_sample("loss", float(index), 1.0)
+        assert len(recorder) == 16
+        assert recorder.dropped == 84
+        assert recorder.events()[0].time_s == 84.0
+
+    def test_retention_window(self):
+        recorder = FlightRecorder(capacity=64, retention_s=5.0)
+        for index in range(20):
+            recorder.record_sample("loss", float(index), 1.0)
+        window = recorder.window()
+        assert [event.time_s for event in window] \
+            == [14.0, 15.0, 16.0, 17.0, 18.0, 19.0]
+
+    def test_dump_on_alert_is_valid_chrome_trace(self):
+        recorder = FlightRecorder(capacity=32)
+        recorder.record_span("batch0", 0.0, 0.5, track="server")
+        recorder.record_sample("qps", 0.5, 100.0)
+        payload = recorder.record_alert(Alert(
+            time_s=0.6, monitor="slo", severity="warning",
+            message="shed", value=1.0, threshold=0.0, name="shed"))
+        assert payload is not None
+        validate_chrome_trace(payload)
+        assert payload["otherData"]["flight"]["reason"] == "alert:shed"
+
+    def test_info_alert_does_not_dump(self):
+        recorder = FlightRecorder(capacity=32)
+        payload = recorder.record_alert(Alert(
+            time_s=0.0, monitor="slo", severity="info", message="ok",
+            value=0.0, threshold=0.0))
+        assert payload is None
+
+    def test_watch_dumps_and_reraises(self, tmp_path):
+        recorder = FlightRecorder(capacity=32, dump_dir=str(tmp_path))
+        with pytest.raises(RuntimeError):
+            with recorder.watch(time_s=1.0, label="train/step"):
+                raise RuntimeError("boom")
+        assert len(recorder.dump_paths) == 1
+        with open(recorder.dump_paths[0]) as handle:
+            validate_chrome_trace(json.load(handle))
+
+    def test_dump_filenames_are_deterministic(self, tmp_path):
+        recorder = FlightRecorder(capacity=8, dump_dir=str(tmp_path))
+        recorder.dump(reason="manual")
+        recorder.dump(reason="alert:shed")
+        names = [path.rsplit("/", 1)[-1]
+                 for path in recorder.dump_paths]
+        assert names == ["flight_000_manual.json",
+                         "flight_001_alert_shed.json"]
+
+    def test_empty_dump_is_valid(self):
+        recorder = FlightRecorder(capacity=8)
+        validate_chrome_trace(recorder.dump(reason="manual"))
+
+
+class TestAnomalyDetector:
+    def test_warmup_suppresses_alerts(self):
+        detector = AnomalyDetector("loss", warmup=8)
+        for index in range(8):
+            assert detector.observe(float(index), 100.0) is None
+
+    def test_spike_alerts_after_warmup(self):
+        detector = AnomalyDetector("loss", z_threshold=3.0, warmup=4)
+        samples = [(float(i), 1.0 + 0.01 * (i % 2)) for i in range(20)]
+        assert annotate_timeseries(detector, samples) == []
+        alert = detector.observe(20.0, 50.0)
+        assert alert is not None
+        assert alert.name == "anomaly"
+        assert alert.severity == "warning"
+
+    def test_anomaly_does_not_shift_the_mean(self):
+        detector = AnomalyDetector("loss", z_threshold=3.0, warmup=4)
+        for index in range(20):
+            detector.observe(float(index), 1.0 + 0.01 * (index % 2))
+        mean_before = detector.mean
+        assert detector.observe(20.0, 50.0) is not None
+        assert detector.mean == mean_before
+
+    def test_trainer_integration_records_losses(self):
+        from repro.data.labeled import LabeledBatchIterator
+        from repro.training.trainer import SyncTrainer
+
+        dataset = _tiny_dataset()
+        network = _tiny_network()
+        recorder = FlightRecorder(capacity=64)
+        trainer = SyncTrainer(network, flight=recorder)
+        iterator = LabeledBatchIterator(dataset, 64, seed=0)
+        trainer.train(iterator, steps=3)
+        samples = [event for event in recorder.events()
+                   if event.kind == "sample"]
+        assert len(samples) == 3
+        assert samples[0].name == "train/loss"
+
+
+class TestOnlineProvenanceRoundTrip:
+    def _network(self):
+        return _tiny_network()
+
+    def test_delta_snapshot_round_trips_provenance(self, tmp_path):
+        from repro.online.delta import (
+            capture_delta,
+            load_delta,
+            save_delta,
+        )
+        network = self._network()
+        manifest = build_manifest(kind="stream",
+                                  config={"seed": 0}).as_dict()
+        dirty = {name: [0, 1] for name in network.embeddings}
+        delta = capture_delta(network, dirty, version=1,
+                              base_version=0, step=10,
+                              provenance=manifest)
+        path = save_delta(delta, tmp_path / "delta")
+        restored = load_delta(path)
+        assert restored.provenance == manifest
+
+    def test_registry_round_trips_provenance(self, tmp_path):
+        from repro.online.registry import SnapshotRegistry
+        network = self._network()
+        manifest = build_manifest(kind="stream",
+                                  config={"seed": 0}).as_dict()
+        registry = SnapshotRegistry(tmp_path)
+        entry = registry.publish(network, step=0, provenance=manifest)
+        assert entry.provenance == manifest
+        reloaded = SnapshotRegistry(tmp_path)
+        assert reloaded.latest().provenance == manifest
+
+
+class TestBenchDiff:
+    def _snapshots(self):
+        baseline = BenchSnapshot(
+            name="demo", config={"seed": 0},
+            metrics={"ips": 100.0, "p99_ms": 10.0, "count": 5},
+            tolerances={"ips": 0.05, "p99_ms": 0.05, "count": 0.0},
+            provenance={"git": "abc", "config_fingerprint": "f00"})
+        candidate = BenchSnapshot(
+            name="demo", config={"seed": 0},
+            metrics={"ips": 80.0, "p99_ms": 10.2, "fresh": 1.0},
+            tolerances={})
+        return baseline, candidate
+
+    def test_ranking_most_severe_first(self):
+        baseline, candidate = self._snapshots()
+        diff = diff_snapshots(baseline, candidate)
+        assert [row.metric for row in diff.rows][:2] == ["count", "ips"]
+        assert diff.rows[0].severity == float("inf")  # missing metric
+        assert diff.rows[0].status == "missing"
+        assert diff.rows[1].severity == pytest.approx(4.0)  # 20% / 5%
+
+    def test_regressed_and_new(self):
+        baseline, candidate = self._snapshots()
+        diff = diff_snapshots(baseline, candidate)
+        assert {row.metric for row in diff.regressed} \
+            == {"count", "ips"}
+        new = [row for row in diff.rows if row.status == "new"]
+        assert [row.metric for row in new] == ["fresh"]
+        assert new[0].severity == 0.0
+
+    def test_as_dict_is_strict_json(self):
+        baseline, candidate = self._snapshots()
+        diff = diff_snapshots(baseline, candidate)
+        text = json.dumps(diff.as_dict(), allow_nan=False)
+        json.loads(text)
+
+    def test_format_carries_provenance(self):
+        baseline, candidate = self._snapshots()
+        text = diff_snapshots(baseline, candidate).format()
+        assert "git abc" in text
+        assert "metric(s) over tolerance" in text
+
+    def test_bench_snapshot_provenance_round_trip(self):
+        baseline, _ = self._snapshots()
+        restored = BenchSnapshot.from_dict(baseline.as_dict())
+        assert restored.provenance == baseline.provenance
+
+
+class TestValidatorStrengthening:
+    """S1: the Chrome-trace validator's new invariants reject bad
+    payloads (good payloads are covered by the overlay/dump tests)."""
+
+    def _payload(self, events):
+        metadata = [
+            {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+             "args": {"name": "p"}},
+            {"name": "thread_name", "ph": "M", "pid": 0, "tid": 0,
+             "args": {"name": "t"}},
+        ]
+        return {"traceEvents": metadata + events}
+
+    def test_counter_ts_regression_rejected(self):
+        events = [
+            {"name": "qps", "ph": "C", "ts": 2.0, "pid": 0, "tid": 0,
+             "args": {"value": 1.0}},
+            {"name": "qps", "ph": "C", "ts": 1.0, "pid": 0, "tid": 0,
+             "args": {"value": 2.0}},
+        ]
+        with pytest.raises(ValueError, match="ts"):
+            validate_chrome_trace(self._payload(events))
+
+    def test_cumulative_counter_decrease_rejected(self):
+        events = [
+            {"name": "cumulative work", "ph": "C", "ts": 1.0,
+             "pid": 0, "tid": 0, "args": {"value": 2.0}},
+            {"name": "cumulative work", "ph": "C", "ts": 2.0,
+             "pid": 0, "tid": 0, "args": {"value": 1.0}},
+        ]
+        with pytest.raises(ValueError, match="cumulative"):
+            validate_chrome_trace(self._payload(events))
+
+    def test_missing_process_name_rejected(self):
+        payload = {"traceEvents": [
+            {"name": "thread_name", "ph": "M", "pid": 0, "tid": 0,
+             "args": {"name": "t"}},
+            {"name": "op", "ph": "X", "ts": 0.0, "dur": 1.0,
+             "pid": 0, "tid": 0},
+        ]}
+        with pytest.raises(ValueError, match="process_name"):
+            validate_chrome_trace(payload)
+
+    def test_missing_thread_name_rejected(self):
+        payload = {"traceEvents": [
+            {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+             "args": {"name": "p"}},
+            {"name": "op", "ph": "X", "ts": 0.0, "dur": 1.0,
+             "pid": 0, "tid": 7},
+        ]}
+        with pytest.raises(ValueError, match="thread_name"):
+            validate_chrome_trace(payload)
