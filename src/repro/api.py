@@ -52,6 +52,7 @@ from repro.hardware.topology import ClusterSpec
 from repro.models import MODEL_BUILDERS
 from repro.models.base import ModelSpec
 from repro.online.loop import StreamReport, simulate_stream
+from repro.prefetch import PrefetchConfig
 from repro.replay import WAIT_MODELS
 from repro.serving.metrics import ServingReport
 from repro.serving.server import CACHE_KINDS, simulate_serving
@@ -60,6 +61,7 @@ from repro.sim import FrozenTrace
 from repro.telemetry import (
     CriticalPathReport,
     OverlapMonitor,
+    PrefetchMonitor,
     PulseDetector,
     Tracer,
     analyze_critical_path,
@@ -160,6 +162,11 @@ class RunConfig(ConfigBase):
     :param fault_plan: optional :class:`~repro.faults.plan.FaultPlan`
         injected into the simulation (crashes kill in-flight work,
         stragglers/link faults scale capacity).
+    :param prefetch: optional
+        :class:`~repro.prefetch.PrefetchConfig`; for the ``PICASSO``
+        framework its knobs override the equivalent
+        ``picasso.prefetch_*`` fields, turning on the hot/cold
+        lookahead pipeline.  Ignored by the baselines.
     """
 
     model: str = "W&D"
@@ -172,11 +179,13 @@ class RunConfig(ConfigBase):
     picasso: PicassoConfig | None = None
     record_tasks: bool = False
     fault_plan: FaultPlan | None = None
+    prefetch: PrefetchConfig | None = None
 
     _FIELD_CODECS = {
         "cluster": codec(_encode_cluster, lambda value: value),
         "picasso": dict_codec(PicassoConfig),
         "fault_plan": dict_codec(FaultPlan),
+        "prefetch": dict_codec(PrefetchConfig),
     }
 
     def __post_init__(self) -> None:
@@ -213,7 +222,16 @@ class RunConfig(ConfigBase):
 
 def _run_picasso(config: RunConfig, model: ModelSpec,
                  cluster: ClusterSpec) -> RunReport:
-    executor = PicassoExecutor(model, cluster, config.picasso)
+    picasso = config.picasso
+    if config.prefetch is not None:
+        # The facade-level PrefetchConfig wins over (and fills in) the
+        # equivalent PicassoConfig knobs.
+        picasso = (picasso or PicassoConfig()).with_overrides(
+            prefetch_lookahead=config.prefetch.lookahead_depth,
+            prefetch_hot_threshold=config.prefetch.hot_threshold,
+            prefetch_inflight_bytes=config.prefetch.max_inflight_bytes,
+            prefetch_policy=config.prefetch.policy)
+    executor = PicassoExecutor(model, cluster, picasso)
     return executor.run(config.batch_size,
                         iterations=config.iterations,
                         record_tasks=config.record_tasks,
@@ -300,9 +318,11 @@ class ServeConfig(ConfigBase):
     variant: str = "wdl"
     replicas: int = 1
     fault_plan: FaultPlan | None = None
+    prefetch: PrefetchConfig | None = None
 
     _FIELD_CODECS = {
         "fault_plan": dict_codec(FaultPlan),
+        "prefetch": dict_codec(PrefetchConfig),
     }
 
     def __post_init__(self) -> None:
@@ -344,7 +364,8 @@ def serve(config: ServeConfig, tracer=None,
         fault_plan=config.fault_plan,
         tracer=tracer,
         metrics=metrics,
-        flight=flight)
+        flight=flight,
+        prefetch=config.prefetch)
 
 
 @dataclass(frozen=True)
@@ -382,11 +403,13 @@ class StreamConfig(ConfigBase):
     max_replicas: int = 4
     hot_swaps: bool = True
     variant: str = "wdl"
+    prefetch: PrefetchConfig | None = None
 
     _FIELD_CODECS = {
         "shape": codec(lambda value: value.as_dict(),
                        lambda value: shape_from_dict(value)
                        if isinstance(value, dict) else value),
+        "prefetch": dict_codec(PrefetchConfig),
     }
 
     def __post_init__(self) -> None:
@@ -443,7 +466,8 @@ def stream(config: StreamConfig, tracer=None,
         metrics=metrics,
         flight=flight,
         provenance=build_manifest(
-            kind="stream", config=config.as_dict()).as_dict())
+            kind="stream", config=config.as_dict()).as_dict(),
+        prefetch=config.prefetch)
 
 
 @dataclass(frozen=True)
@@ -755,6 +779,12 @@ def profile(config: RunConfig, model: ModelSpec | None = None,
     overlap = OverlapMonitor()
     monitors[overlap.name] = overlap.analyze(
         result.recorder, result.makespan, records=result.task_records)
+    if any(r.tags.get("layer") == "prefetch" for r in result.task_records):
+        # Only present when the run actually staged batches: a profile
+        # of a prefetch-off config stays byte-identical to before.
+        prefetch = PrefetchMonitor()
+        monitors[prefetch.name] = prefetch.analyze(
+            result.recorder, result.makespan, records=result.task_records)
     if config.fault_plan is not None and len(config.fault_plan):
         # The injected schedule lands on the alert track so the trace
         # shows *why* utilization dipped where it did.

@@ -31,7 +31,12 @@ Each benchmark is one deterministic, CI-sized workload reduced to a
   a launch-halved perturbation must land where it lands, and the
   coordinate-descent auto-tuner must keep finding a >= 10% winner with
   <= 15% prediction error on it, gated so a replay or predictor
-  regression fails CI.
+  regression fails CI;
+* ``prefetch`` — the hot/cold lookahead pipeline on a skewed stream
+  with periodic cold scans: the ``fifo`` policy must stay the identity
+  schedule and hot-first reordering must keep cutting exposed fetch
+  seconds by >= 50% versus FIFO, gated so a scheduler regression that
+  stops hiding cold fetches fails CI.
 
 Workloads are deliberately small (seconds each): the gate's job is
 catching regressions on every PR, not measuring peak numbers.
@@ -73,13 +78,32 @@ _INTERLEAVE_CONFIG = dict(model="W&D", dataset="Product-1", scale=0.05,
                           iterations=2)
 
 
+#: The training gate's prefetch knobs: every upcoming batch counts as
+#: hot (threshold 1.0 against the HBM-deferral residency model) with a
+#: 4-deep window, which is the standard scenario the overlap
+#: acceptance bar (>= 0.35 comm/compute overlap at 16 steady-state
+#: iterations) was set on.
+_TRAIN_PREFETCH = dict(prefetch_lookahead=4, prefetch_hot_threshold=1.0)
+
+
 def bench_training() -> BenchSnapshot:
-    """Profiled PICASSO run: throughput + health-monitor structure."""
-    config = RunConfig(**_TRAIN_CONFIG)
+    """Profiled PICASSO run: throughput + health-monitor structure.
+
+    Runs the training workload with the hot/cold prefetch pipeline on
+    (16 iterations so the steady state dominates warm-up) and gates
+    both the classic health structure and the prefetch account: the
+    comm/compute overlap ratio must hold the >= 0.35 acceptance bar
+    and the background stream must stay fully hidden (zero exposed
+    fetch seconds).
+    """
+    workload = dict(_TRAIN_CONFIG, iterations=16)
+    config = RunConfig(picasso=PicassoConfig(**_TRAIN_PREFETCH),
+                       **workload)
     result = profile(config)
     report = result.report
     pulse = result.monitors["pulse"].summary
     overlap = result.monitors["overlap"].summary
+    prefetch = result.monitors["prefetch"].summary
     metrics = {
         "ips": report.ips,
         "seconds_per_iteration": report.seconds_per_iteration,
@@ -91,20 +115,29 @@ def bench_training() -> BenchSnapshot:
         "pulse_idle_fraction": pulse["idle_fraction"],
         "overlap_ratio": overlap["overlap_ratio"],
         "overlap_alerts": len(result.monitors["overlap"].alerts),
+        "prefetch_seconds": prefetch["prefetch_seconds"],
+        "prefetch_exposed_s": prefetch["exposed_fetch_seconds"],
+        "prefetch_overlap_ratio": prefetch["overlap_ratio"],
+        "prefetch_alerts": len(result.monitors["prefetch"].alerts),
     }
     tolerances = {
         "task_count": 0.0,
         "overlap_alerts": 0.0,
+        "prefetch_alerts": 0.0,
+        "prefetch_exposed_s": 0.0,
         "pulse_phases": 0.0,
         "pulse_idle_fraction": 0.10,
         "overlap_ratio": 0.10,
+        "prefetch_seconds": 0.05,
+        "prefetch_overlap_ratio": 0.05,
         "critical_path_coverage": 0.02,
     }
     return BenchSnapshot(
         name="training",
-        config=dict(_TRAIN_CONFIG),
+        config=dict(workload, **_TRAIN_PREFETCH),
         metrics=metrics,
-        monitors={"pulse": pulse, "overlap": overlap},
+        monitors={"pulse": pulse, "overlap": overlap,
+                  "prefetch": prefetch},
         tolerances=tolerances)
 
 
@@ -515,6 +548,120 @@ def bench_replay() -> BenchSnapshot:
         tolerances=tolerances)
 
 
+def bench_prefetch() -> BenchSnapshot:
+    """Hot/cold lookahead pipeline vs FIFO on a skewed stream, gated.
+
+    A bounded-Zipf(1.2) batch stream with a periodic cold scan (every
+    4th batch reads uniform tail IDs) goes through
+    :class:`~repro.prefetch.LookaheadPrefetcher` twice: once under the
+    ``hotness`` policy with a counter-derived residency oracle, once
+    under ``fifo``.  The gate holds the pipeline to its contract: the
+    ``fifo`` arm must be the identity schedule, and hot-first
+    reordering must cut exposed fetch seconds by >= 50% versus paying
+    every cold batch's fetch in the foreground (the ISSUE 9
+    acceptance bar).
+    """
+    from repro.embedding.counter import FrequencyCounter
+    from repro.prefetch import (
+        DEFAULT_FETCH_RATE,
+        LookaheadPrefetcher,
+        PrefetchConfig,
+        batch_classifier,
+        resident_from_counter,
+    )
+
+    config = dict(vocab_size=50_000, exponent=1.2, hot_rows=2_000,
+                  batches=64, batch_size=512, cold_every=4,
+                  lookahead_depth=4, hot_threshold=0.6,
+                  row_bytes=64.0, step_ms=1.0, seed=0)
+    hot_sampler = BoundedZipf(vocab_size=config["hot_rows"],
+                              exponent=config["exponent"])
+    rng = np.random.default_rng(config["seed"])
+    stream = []
+    for index in range(config["batches"]):
+        if (index + 1) % config["cold_every"] == 0:
+            # The cold scan: uniform over the tail the fast tier
+            # cannot pin.
+            stream.append(rng.integers(
+                config["hot_rows"], config["vocab_size"],
+                config["batch_size"], dtype=np.int64))
+        else:
+            stream.append(hot_sampler.sample(config["batch_size"], rng))
+    counter = FrequencyCounter()
+    for ids in stream:
+        counter.observe(ids)
+    resident = resident_from_counter(counter, config["hot_rows"])
+
+    prefetch_config = PrefetchConfig(
+        lookahead_depth=config["lookahead_depth"],
+        hot_threshold=config["hot_threshold"])
+    classifier = batch_classifier("hotness")(
+        prefetch_config, resident=resident)
+    fetch_s = [np.unique(ids).size * config["row_bytes"]
+               / DEFAULT_FETCH_RATE for ids in stream]
+    cold = [index for index, ids in enumerate(stream)
+            if not classifier.classify(ids, index).hot]
+    # FIFO has no lookahead to hide behind: every cold batch's fetch
+    # is paid in the foreground, fully exposed.
+    fifo_exposed = sum(fetch_s[index] for index in cold)
+
+    hotness = LookaheadPrefetcher(
+        prefetch_config, resident=resident,
+        row_bytes=config["row_bytes"],
+        step_seconds=config["step_ms"] * 1e-3)
+    hot_plan = hotness.plan(stream)
+    staged = {record.index for record in hotness.records}
+    # Cold batches the window never got to stage still pay foreground.
+    hot_exposed = (hotness.stats.exposed_fetch_seconds
+                   + sum(fetch_s[index] for index in cold
+                         if index not in staged))
+    fifo = LookaheadPrefetcher(
+        prefetch_config.with_overrides(policy="fifo"),
+        resident=resident, row_bytes=config["row_bytes"],
+        step_seconds=config["step_ms"] * 1e-3)
+    fifo_plan = fifo.plan(stream)
+
+    metrics = {
+        "batches": hotness.stats.batches,
+        "cold_class": len(cold),
+        "staged": hotness.stats.staged,
+        "reordered": hotness.stats.reordered,
+        "max_displacement": max(
+            position - index
+            for position, index in enumerate(hot_plan)),
+        "fifo_identity": float(
+            fifo_plan == list(range(config["batches"]))),
+        "fifo_staged": fifo.stats.staged,
+        "exposed_fifo_s": fifo_exposed,
+        "exposed_hotness_s": hot_exposed,
+        "exposed_reduction": (1.0 - hot_exposed / fifo_exposed
+                              if fifo_exposed > 0 else 0.0),
+        "stream_overlap_ratio": hotness.stats.overlap_ratio,
+        "staged_bytes": hotness.stats.staged_bytes,
+    }
+    tolerances = {
+        "batches": 0.0,
+        "cold_class": 0.0,
+        "staged": 0.0,
+        "reordered": 0.0,
+        "max_displacement": 0.0,
+        "fifo_identity": 0.0,
+        "fifo_staged": 0.0,
+        "exposed_fifo_s": 0.02,
+        "exposed_hotness_s": 0.05,
+        "exposed_reduction": 0.02,
+        "stream_overlap_ratio": 0.02,
+        "staged_bytes": 0.02,
+    }
+    return BenchSnapshot(
+        name="prefetch",
+        config=config,
+        metrics=metrics,
+        monitors={"hotness": hotness.stats.as_dict(),
+                  "fifo": fifo.stats.as_dict()},
+        tolerances=tolerances)
+
+
 #: Name -> builder for every benchmark ``repro bench run`` knows.
 BENCHES = {
     "training": bench_training,
@@ -525,6 +672,7 @@ BENCHES = {
     "shards": bench_shards,
     "online": bench_online,
     "replay": bench_replay,
+    "prefetch": bench_prefetch,
 }
 
 

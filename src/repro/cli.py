@@ -68,6 +68,7 @@ from repro.embedding.placement import (
 from repro.experiments import runner as experiment_runner
 from repro.experiments.common import format_table, mini_criteo
 from repro.models import MODEL_BUILDERS
+from repro.prefetch import PrefetchConfig
 from repro.replay import WAIT_MODELS, CostHooks, TraceReplayer
 from repro.serving import CACHE_KINDS, DiurnalShape, FlashCrowdShape
 from repro.sim import FrozenTrace
@@ -93,6 +94,31 @@ def _cluster(spec: str):
         raise argparse.ArgumentTypeError(str(error))
 
 
+def _prefetch_config(args) -> PrefetchConfig | None:
+    """The optional hot/cold pipeline config from ``--prefetch-*``.
+
+    ``None`` (prefetch off, byte-identical to the pre-pipeline
+    behaviour) unless at least one prefetch flag was given; unset
+    flags fall back to :class:`PrefetchConfig` defaults.
+    """
+    settings = {
+        "policy": getattr(args, "prefetch_policy", None),
+        "lookahead_depth": getattr(args, "prefetch_lookahead", None),
+        "hot_threshold": getattr(args, "prefetch_hot_threshold", None),
+    }
+    inflight_mb = getattr(args, "prefetch_inflight_mb", None)
+    if inflight_mb is not None:
+        settings["max_inflight_bytes"] = inflight_mb * float(1 << 20)
+    settings = {key: value for key, value in settings.items()
+                if value is not None}
+    if not settings:
+        return None
+    try:
+        return PrefetchConfig(**settings)
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+
 def _run_config(args, **overrides) -> RunConfig:
     """A :class:`RunConfig` from the shared simulation flags."""
     settings = {
@@ -103,6 +129,7 @@ def _run_config(args, **overrides) -> RunConfig:
         "batch_size": args.batch,
         "iterations": args.iterations,
         "framework": getattr(args, "framework", "PICASSO"),
+        "prefetch": _prefetch_config(args),
     }
     settings.update(overrides)
     return RunConfig(**settings)
@@ -208,7 +235,7 @@ def _serve_config(args) -> ServeConfig:
         warm_rows=args.warm_rows, max_batch_size=args.batch_max,
         max_wait_s=args.max_wait_ms / 1e3, slo_s=args.slo_ms / 1e3,
         micro_batch_rows=args.micro_rows, replicas=args.replicas,
-        fault_plan=fault_plan)
+        fault_plan=fault_plan, prefetch=_prefetch_config(args))
 
 
 def cmd_serve(args) -> int:
@@ -263,7 +290,8 @@ def cmd_stream(args) -> int:
             slo_s=args.slo_ms / 1e3,
             autoscale=not args.no_autoscale,
             max_replicas=args.max_replicas,
-            hot_swaps=not args.no_swaps)
+            hot_swaps=not args.no_swaps,
+            prefetch=_prefetch_config(args))
     except ValueError as error:
         raise SystemExit(str(error))
     report = api.stream(config)
@@ -587,6 +615,23 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list models/datasets/experiments") \
         .set_defaults(func=cmd_list)
 
+    def add_prefetch_args(p):
+        # Mirrors PrefetchConfig field-for-field; leaving all four
+        # unset keeps prefetch off (and output byte-identical).
+        p.add_argument("--prefetch-policy",
+                       help="batch classifier enabling the hot/cold "
+                            "lookahead pipeline (builtins: hotness, "
+                            "fifo; plugins via "
+                            "register_batch_classifier)")
+        p.add_argument("--prefetch-lookahead", type=int,
+                       help="lookahead window depth in batches "
+                            "(1 = no reordering)")
+        p.add_argument("--prefetch-hot-threshold", type=float,
+                       help="fast-tier residency score in [0, 1] at "
+                            "which a batch counts as hot")
+        p.add_argument("--prefetch-inflight-mb", type=float,
+                       help="background staging budget in MiB")
+
     def add_sim_args(p):
         p.add_argument("--model", default="W&D")
         p.add_argument("--dataset", default="Product-1")
@@ -596,6 +641,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="eflops:N or gn6e:N")
         p.add_argument("--batch", type=int, default=20_000)
         p.add_argument("--iterations", type=int, default=3)
+        add_prefetch_args(p)
 
     sim = sub.add_parser("simulate", help="simulate one workload")
     add_sim_args(sim)
@@ -643,6 +689,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "losses degrade admission, not uptime")
     serve.add_argument("--fault-seed", type=int, default=0,
                        help="seed for the generated fault plan")
+    add_prefetch_args(serve)
     serve.set_defaults(func=cmd_serve)
 
     stream = sub.add_parser(
@@ -681,6 +728,7 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--no-swaps", action="store_true",
                         help="freeze serving on the initial weights "
                              "(no-swap baseline)")
+    add_prefetch_args(stream)
     stream.set_defaults(func=cmd_stream)
 
     gantt = sub.add_parser("gantt", help="ASCII utilization timeline")

@@ -14,6 +14,7 @@ from repro.config_base import ConfigBase, codec
 from repro.graph.builder import CostModel
 
 _GIB = float(1 << 30)
+_MIB = float(1 << 20)
 
 
 @dataclass(frozen=True)
@@ -48,6 +49,20 @@ class PicassoConfig(ConfigBase):
         :class:`~repro.embedding.placement.ShardPlanner` placement;
         the execution plan prices exchanges with the planner's
         predicted max/mean shard-bytes ratio).
+    :param prefetch_lookahead: hot/cold lookahead window depth
+        (Hotline, arXiv 2204.05436).  Depths above 1 stage the
+        predicted-cold share of the next iteration's embedding rows on
+        a background prefetch stream that overlaps the current
+        iteration's compute; 1 disables the stream.
+    :param prefetch_hot_threshold: residency score in ``[0, 1]`` above
+        which a row counts as hot (already resident, not worth
+        staging); higher thresholds classify more rows as
+        cold-and-prefetchable.
+    :param prefetch_inflight_bytes: cap on bytes the stream may stage
+        per window before consumers drain them.
+    :param prefetch_policy: batch-classifier name (``"hotness"`` or
+        the ``"fifo"`` null classifier, which never reorders and emits
+        no stream — byte-identical to the pre-prefetch builder).
     """
 
     enable_packing: bool = True
@@ -63,6 +78,10 @@ class PicassoConfig(ConfigBase):
     device_memory_budget: float = 16.0 * _GIB
     cost: CostModel = field(default_factory=CostModel)
     shard_policy: str = "hash"
+    prefetch_lookahead: int = 1
+    prefetch_hot_threshold: float = 0.6
+    prefetch_inflight_bytes: float = 256.0 * _MIB
+    prefetch_policy: str = "hotness"
 
     _FIELD_CODECS = {
         "cost": codec(asdict,
@@ -94,6 +113,18 @@ class PicassoConfig(ConfigBase):
             raise ValueError("flush_iters must be >= 1")
         if self.device_memory_budget <= 0:
             raise ValueError("device_memory_budget must be > 0")
+        if self.prefetch_lookahead < 1:
+            raise ValueError(
+                f"prefetch_lookahead must be >= 1, "
+                f"got {self.prefetch_lookahead}")
+        if not 0.0 <= self.prefetch_hot_threshold <= 1.0:
+            raise ValueError(
+                f"prefetch_hot_threshold must be in [0, 1], "
+                f"got {self.prefetch_hot_threshold}")
+        if self.prefetch_inflight_bytes <= 0:
+            raise ValueError("prefetch_inflight_bytes must be > 0")
+        if not self.prefetch_policy:
+            raise ValueError("prefetch_policy must be non-empty")
 
     @classmethod
     def base(cls) -> "PicassoConfig":

@@ -60,6 +60,10 @@ class PicassoPlanner:
             # half the bytes of the baselines' padded records.
             io_compression=0.5,
             cost=config.cost,
+            prefetch_lookahead=config.prefetch_lookahead,
+            prefetch_hot_threshold=config.prefetch_hot_threshold,
+            prefetch_inflight_bytes=config.prefetch_inflight_bytes,
+            prefetch_policy=config.prefetch_policy,
         )
 
         if config.enable_interleaving:

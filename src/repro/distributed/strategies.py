@@ -129,6 +129,20 @@ class DataParallelTrainer:
         self.network.zero_grad()
         return float(np.mean(losses))
 
+    def train(self, batches, prefetcher=None) -> list:
+        """Run a batch sequence; returns per-step mean losses.
+
+        :param prefetcher: optional
+            :class:`~repro.prefetch.LookaheadPrefetcher`; global
+            batches are consumed in its hot-first window order, so
+            cold batches' embedding rows stage while resident batches
+            train.  ``None`` keeps strict arrival order.
+        """
+        if prefetcher is None:
+            return [self.train_step(batch) for batch in batches]
+        return [self.train_step(batch)
+                for _index, batch in prefetcher.schedule(batches)]
+
     def _record_exchange(self, shards) -> None:
         """Price this step's lookups through the placement plan."""
         plan = self.placement_plan

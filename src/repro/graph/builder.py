@@ -228,6 +228,17 @@ class ExecutionPlan:
     #: a planner-supplied value prices the embedding exchanges with
     #: the placement's actual (im)balance — the gating shard.
     shard_imbalance: float | None = None
+    #: Hot/cold lookahead pipelining (Hotline, arXiv 2204.05436): with
+    #: a window deeper than one batch, the predicted-cold share of the
+    #: next iteration's embedding rows is gathered and exchanged on a
+    #: chained background prefetch stream while the current iteration
+    #: computes.  ``prefetch_lookahead <= 1`` or the ``"fifo"`` null
+    #: policy disables the stream (graph identical to the non-prefetch
+    #: builder, byte for byte).
+    prefetch_lookahead: int = 1
+    prefetch_hot_threshold: float = 0.6
+    prefetch_inflight_bytes: float = float("inf")
+    prefetch_policy: str = "hotness"
 
     def __post_init__(self) -> None:
         known = {"ps-async", "ps-sync", "mp", "dp", "hybrid"}
@@ -247,6 +258,14 @@ class ExecutionPlan:
             raise ValueError("cache_hit_ratio must be in [0, 1]")
         if self.shard_imbalance is not None and self.shard_imbalance < 1.0:
             raise ValueError("shard_imbalance must be >= 1.0")
+        if self.prefetch_lookahead < 1:
+            raise ValueError("prefetch_lookahead must be >= 1")
+        if not 0.0 <= self.prefetch_hot_threshold <= 1.0:
+            raise ValueError("prefetch_hot_threshold must be in [0, 1]")
+        if self.prefetch_inflight_bytes <= 0:
+            raise ValueError("prefetch_inflight_bytes must be > 0")
+        if not self.prefetch_policy:
+            raise ValueError("prefetch_policy must be non-empty")
 
     def exchange_factor(self) -> float:
         """Inflation applied to AllToAllv exchange bytes.
@@ -259,6 +278,20 @@ class ExecutionPlan:
         if self.shard_imbalance is not None:
             return self.shard_imbalance
         return self.cost.straggler_factor
+
+    def prefetch_share(self) -> float:
+        """Fraction of cold gather/exchange work staged ahead.
+
+        A deeper window covers more of the next batch
+        (``1 - 1/lookahead`` of it is visible in time), and a higher
+        hot threshold classifies more rows as cold-and-prefetchable.
+        The ``"fifo"`` null policy and a depth-1 window yield 0.0 —
+        no prefetch stream, the graph is unchanged.
+        """
+        if self.prefetch_lookahead <= 1 or self.prefetch_policy == "fifo":
+            return 0.0
+        window = 1.0 - 1.0 / self.prefetch_lookahead
+        return self.prefetch_hot_threshold * window
 
     @property
     def uses_alltoall(self) -> bool:
@@ -283,6 +316,12 @@ class IterationGraphBuilder:
         for group in plan.groups:
             for spec in group.fields:
                 self._field_to_group.setdefault(spec.name, group)
+        # Background prefetch stream state: the stream is one chained
+        # queue across iterations (its in-order issue is what the
+        # inflight budget bounds).
+        self._prev_prefetch: dict = {}
+        self._iter_prefetch: dict = {}
+        self._prefetch_bytes_cache = None
 
     # -- public API ---------------------------------------------------------
 
@@ -331,6 +370,9 @@ class IterationGraphBuilder:
         if not plan.io_overlap and prev_tail is not None:
             graph.add_edge(prev_tail, io_op)
 
+        self._iter_prefetch = self._emit_prefetch_stream(graph, index,
+                                                         io_op)
+
         tail_deps = []
         grad_outputs = []
         prev_slice_ops: dict = {}
@@ -374,6 +416,154 @@ class IterationGraphBuilder:
             tags={"layer": "io"},
         )
         return graph.add(op)
+
+    # -- hot/cold lookahead prefetch ----------------------------------------
+
+    def _prefetch_dedup(self, group, batch: int) -> float:
+        """Cross-batch reuse discount over the lookahead window.
+
+        A window of ``L`` batches shares IDs (Zipf reuse), so staging
+        its union once costs ``unique(L*B) / (L * unique(B))`` of what
+        ``L`` independent per-batch fetches would — Hotline's key win.
+        """
+        window = self.plan.prefetch_lookahead
+        if window <= 1:
+            return 1.0
+        per_batch = max(1.0, self.stats.group_unique_ids(group, batch))
+        window_unique = max(1.0, self.stats.group_unique_ids(
+            group, batch * window))
+        return min(1.0, max(1.0 / window,
+                            window_unique / (window * per_batch)))
+
+    def _prefetch_group_bytes(self) -> dict:
+        """Per-group bytes the background stream stages each iteration.
+
+        Returns ``({group.name: (cold_bytes, remote_bytes)}, share)``.
+        ``share`` is the fraction of the synchronous fetch the stream
+        replaces (:meth:`ExecutionPlan.prefetch_share`, uniformly
+        shrunk if the window would overrun ``prefetch_inflight_bytes``);
+        the per-group bytes are the share further discounted by the
+        window's cross-batch reuse (:meth:`_prefetch_dedup`) and, for
+        the remote slice, priced without the straggler premium — bulk
+        background staging is not latency-bound, so it does not pay
+        the exchange factor the synchronous AllToAllv does.  The
+        mapping is empty (and the share 0.0) when the stream is
+        disabled.
+        """
+        if self._prefetch_bytes_cache is not None:
+            return self._prefetch_bytes_cache
+        plan = self.plan
+        share = plan.prefetch_share()
+        if share <= 0.0:
+            self._prefetch_bytes_cache = ({}, 0.0)
+            return self._prefetch_bytes_cache
+        slices = plan.micro_batches if plan.micro_batch_scope == "all" else 1
+        batch = plan.batch_size / slices
+        cold_fraction = 1.0 - (plan.cache_hit_ratio or 0.0)
+        raw = {}
+        staged_total = 0.0
+        for group in plan.groups:
+            unique = max(1.0, self.stats.group_unique_ids(group,
+                                                          int(batch)))
+            emb_bytes = unique * group.embedding_dim * _FLOAT_BYTES \
+                * slices
+            dedup = self._prefetch_dedup(group, int(batch) * slices)
+            cold = emb_bytes * cold_fraction * dedup
+            remote = 0.0
+            if plan.uses_alltoall and self._workers > 1:
+                remote = emb_bytes * (self._workers - 1) / self._workers
+                remote *= dedup
+            raw[group.name] = (cold, remote)
+            staged_total += (cold + remote) * share
+        if staged_total > plan.prefetch_inflight_bytes:
+            share *= plan.prefetch_inflight_bytes / staged_total
+        self._prefetch_bytes_cache = (
+            {name: (cold * share, remote * share)
+             for name, (cold, remote) in raw.items()}, share)
+        return self._prefetch_bytes_cache
+
+    def _prefetch_phases(self, cold_bytes: float, remote_bytes: float,
+                         packed: bool) -> list:
+        """Hardware demands of one group's staged window slice.
+
+        The stream stages rows in bulk, which is where its advantage
+        over the synchronous path comes from: the window's union is
+        copied sequentially (no scatter amplification — the random
+        per-row layout is resolved on-device at stitch time), the hash
+        probe runs once over sorted IDs, and the wire transfer is one
+        window-coalesced chunk that reaches NIC saturation instead of
+        the fragmentary per-slice AllToAllv rate.  Each direction is
+        charged twice: the staged fetch plus the previous window's
+        lazy flush — deferred cold-gradient pushback on the wire,
+        dirty-row writeback (the updates that landed on the HBM copy
+        while the row was staged) over PCIe and into the host table.
+        """
+        plan = self.plan
+        phases = []
+        # Rates are priced at the whole window flush, not this group's
+        # slice: the stream issues one coalesced burst per iteration
+        # and the per-group phases are bookkeeping slices of it.
+        flush_cold, flush_wire = self._prefetch_flush_bytes()
+        if cold_bytes > 0:
+            probe_factor = plan.cost.hash_probe_factor + 1.0
+            phases.append(Phase(
+                ResourceKind.DRAM, cold_bytes * probe_factor,
+                max_rate=self._bw_rate(ResourceKind.DRAM,
+                                       flush_cold * probe_factor)))
+            phases.append(Phase(
+                ResourceKind.PCIE, cold_bytes * 2.0,
+                max_rate=self._bw_rate(ResourceKind.PCIE,
+                                       flush_cold * 2.0)))
+        if remote_bytes > 0:
+            phases.append(Phase(ResourceKind.NET, remote_bytes * 2.0,
+                                max_rate=self._net_rate(flush_wire)))
+        return phases or [self._hbm_phase(1.0)]
+
+    def _prefetch_flush_bytes(self) -> tuple:
+        """(cold, wire) bytes of one whole coalesced window flush."""
+        staged, _share = self._prefetch_group_bytes()
+        cold_total = sum(cold for cold, _remote in staged.values())
+        wire_total = sum(remote for _cold, remote in staged.values()) * 2.0
+        return cold_total, wire_total
+
+    def _emit_prefetch_stream(self, graph: Graph, index: int,
+                              io_op: Op) -> dict:
+        """Background prefetch ops for iteration ``index``.
+
+        Ops depend on this iteration's I/O (IDs must be known) and on
+        the same group's previous stream op (per-group in-order
+        queues; the DMA and NIC engines work different groups
+        concurrently) but NOT on the previous step's tail — that
+        independence is what lets the staged fetch run under iteration
+        ``index - 1``'s compute.  Iteration 0 is warm-up: nothing
+        earlier to hide under, so the stream starts at iteration 1
+        (Hotline's first-window discipline).  Returns
+        ``{group.name: (op, share)}``.
+        """
+        if index < 1:
+            return {}
+        staged, share = self._prefetch_group_bytes()
+        if not staged:
+            return {}
+        plan = self.plan
+        ops = {}
+        for group in plan.groups:
+            cold, remote = staged[group.name]
+            op = Op(
+                name=f"it{index}/prefetch/{group.name}",
+                kind=OpKind.PREFETCH,
+                phases=self._prefetch_phases(cold, remote,
+                                             group.is_packed),
+                micro_ops=4,
+                tags={"layer": "prefetch", "group": group.name})
+            graph.add(op)
+            graph.add_edge(io_op, op)
+            prev = self._prev_prefetch.get(group.name)
+            if prev is not None:
+                graph.add_edge(prev, op)
+            self._prev_prefetch[group.name] = op
+            ops[group.name] = (op, share)
+        return ops
 
     def _build_forward_backward(self, graph, index, slice_index, slices,
                                 inner_mlp_slices, io_op, prev_tail,
@@ -515,6 +705,12 @@ class IterationGraphBuilder:
             graph.add_edge(unique_op, partition_op)
             ops.extend([unique_op, partition_op])
 
+        # Rows the background stream already staged (hot/cold
+        # lookahead): the synchronous gather and exchange shrink by the
+        # staged share, and gate on the stream op that staged them.
+        prefetched = self._iter_prefetch.get(group.name)
+        sync_scale = 1.0 - prefetched[1] if prefetched is not None else 1.0
+
         gather_op = None
         if plan.strategy not in ("ps-async", "ps-sync"):
             # PS workers hold no table shard: the server performs the
@@ -522,16 +718,19 @@ class IterationGraphBuilder:
             gather_op = Op(
                 name=f"{prefix}/{group.name}/gather",
                 kind=OpKind.GATHER,
-                phases=self._gather_phases(emb_bytes, group.is_packed),
+                phases=self._gather_phases(emb_bytes, group.is_packed,
+                                           cold_scale=sync_scale),
                 micro_ops=micro(OpKind.GATHER), tags=tags)
             graph.add(gather_op)
             graph.add_edge(ops[-1], gather_op)
+            if prefetched is not None:
+                graph.add_edge(prefetched[0], gather_op)
             ops.append(gather_op)
 
         comm_op = None
         if plan.uses_alltoall and self._workers > 1:
             remote_bytes = emb_bytes * (self._workers - 1) / self._workers
-            remote_bytes *= plan.exchange_factor()
+            remote_bytes *= plan.exchange_factor() * sync_scale
             if plan.fuse_kernels:
                 comm_op = Op(
                     name=f"{prefix}/{group.name}/shuffle_stitch",
@@ -636,9 +835,15 @@ class IterationGraphBuilder:
         graph.add(grad_op)
         ops = [grad_op]
 
+        # Gradients for rows the stream staged are pushed back on the
+        # stream too (deferred, coalesced — priced in the prefetch
+        # op's wire phase), so only the hot share exchanges here.
+        prefetched = self._iter_prefetch.get(group.name)
+        sync_scale = 1.0 - prefetched[1] if prefetched is not None else 1.0
+
         if plan.uses_alltoall and self._workers > 1:
             remote = emb_bytes * (self._workers - 1) / self._workers
-            remote *= plan.exchange_factor()
+            remote *= plan.exchange_factor() * sync_scale
             back_op = Op(
                 name=f"{prefix}/{group.name}/grad_shuffle",
                 kind=OpKind.ALLTOALL,
@@ -842,12 +1047,16 @@ class IterationGraphBuilder:
                             * cost.optimizer_slots)
             seq_factor = group.max_seq_factor
             field_count = 1 if group.is_packed else len(group.fields)
+            prefetched = self._iter_prefetch.get(group.name)
+            opt_scale = 1.0 - prefetched[1] if prefetched is not None \
+                else 1.0
             opt_op = Op(
                 name=f"it{index}/opt/{group.name}/"
                      f"{last_op.name.split('/')[1]}",
                 kind=OpKind.OPT_SPARSE,
                 phases=self._sparse_update_phases(update_bytes,
-                                                  group.is_packed),
+                                                  group.is_packed,
+                                                  cold_scale=opt_scale),
                 micro_ops=int(EMB_MICRO_OPS[OpKind.OPT_SPARSE]
                               * seq_factor * field_count),
                 tags={"layer": "optimizer", "group": group.name})
@@ -942,8 +1151,14 @@ class IterationGraphBuilder:
         return (cost.packed_scatter_amplification if packed
                 else cost.scatter_amplification)
 
-    def _gather_phases(self, emb_bytes: float, packed: bool) -> list:
-        """Local embedding fetch: cache-split between HBM and DRAM+PCIe."""
+    def _gather_phases(self, emb_bytes: float, packed: bool,
+                       cold_scale: float = 1.0) -> list:
+        """Local embedding fetch: cache-split between HBM and DRAM+PCIe.
+
+        ``cold_scale`` shrinks the cold (DRAM+PCIe) slice by whatever
+        fraction the background prefetch stream already staged; hot
+        HBM traffic is unaffected (those rows were resident anyway).
+        """
         plan = self.plan
         # Symmetric MP serving: this worker's shard answers every
         # worker's requests, so per-step gather volume equals one full
@@ -951,7 +1166,7 @@ class IterationGraphBuilder:
         local_bytes = emb_bytes
         hit = plan.cache_hit_ratio or 0.0
         hot_bytes = local_bytes * hit
-        cold_bytes = local_bytes * (1.0 - hit)
+        cold_bytes = local_bytes * (1.0 - hit) * cold_scale
         phases = []
         if hot_bytes > 0:
             phases.append(self._hbm_phase(hot_bytes))
@@ -990,13 +1205,44 @@ class IterationGraphBuilder:
             phases.append(self._hbm_phase(stitch_bytes))
         return phases or [self._hbm_phase(1.0)]
 
+    def planned_prefetch_seconds(self, iterations: int) -> float:
+        """Solo seconds of the whole background prefetch stream.
+
+        Prices the per-iteration staged window at each phase's
+        uncontended rate and sums across the ``iterations - 1``
+        covered steps — the analytic credit the what-if replayer uses
+        for candidates that enable the stream (work moved off the
+        synchronous path is work the replayed trace no longer
+        exposes).
+        """
+        staged, _share = self._prefetch_group_bytes()
+        if not staged or iterations <= 1:
+            return 0.0
+        per_iteration = 0.0
+        for group in self.plan.groups:
+            cold, remote = staged[group.name]
+            for phase in self._prefetch_phases(cold, remote,
+                                               group.is_packed):
+                per_iteration += phase.work / phase.max_rate
+        return per_iteration * (iterations - 1)
+
     def _sparse_update_phases(self, update_bytes: float,
-                              packed: bool) -> list:
-        """Optimizer writes: hot part on HBM, the rest behind PCIe+DRAM."""
+                              packed: bool,
+                              cold_scale: float = 1.0) -> list:
+        """Optimizer writes: hot part on HBM, the rest behind PCIe+DRAM.
+
+        ``cold_scale`` shrinks the scattered host-side write slice by
+        the share the prefetch stream staged: staged rows are
+        device-resident for the window, so their updates land on the
+        HBM copy and write back lazily on the stream (one coalesced
+        flush, priced in the prefetch op) instead of scattering over
+        PCIe every step.
+        """
         hit = self.plan.cache_hit_ratio or 0.0
         phases = []
-        hot = update_bytes * hit
         cold = update_bytes * (1.0 - hit)
+        hot = update_bytes * hit + cold * (1.0 - cold_scale)
+        cold *= cold_scale
         if hot > 0:
             phases.append(self._hbm_phase(hot))
         if cold > 0:

@@ -46,6 +46,7 @@ class OpKind:
     PS_PUSH = "ps_push"
     OPT_SPARSE = "opt_sparse"
     OPT_DENSE = "opt_dense"
+    PREFETCH = "prefetch"  # background hot/cold lookahead stream
     CONTROL = "control"
 
 
@@ -57,7 +58,7 @@ MEMORY_GROUP = frozenset({
 })
 COMMUNICATION_GROUP = frozenset({
     OpKind.SHUFFLE, OpKind.SHUFFLE_STITCH, OpKind.ALLREDUCE, OpKind.ALLTOALL,
-    OpKind.PS_PULL, OpKind.PS_PUSH, OpKind.IO_READ,
+    OpKind.PS_PULL, OpKind.PS_PUSH, OpKind.IO_READ, OpKind.PREFETCH,
 })
 COMPUTE_GROUP = frozenset({
     OpKind.INTERACTION, OpKind.MLP, OpKind.LOSS, OpKind.GRAD, OpKind.CONCAT,

@@ -137,7 +137,7 @@ def simulate_stream(num_requests: int = 4_000, seed: int = 0,
                     dataset: DatasetSpec | None = None,
                     variant: str = "wdl",
                     tracer=None, metrics=None, flight=None,
-                    provenance=None) -> StreamReport:
+                    provenance=None, prefetch=None) -> StreamReport:
     """Run the continuous-training -> online-serving loop end to end.
 
     :param train_steps: cap on streaming-trainer steps (the trainer
@@ -159,6 +159,12 @@ def simulate_stream(num_requests: int = 4_000, seed: int = 0,
         ring (sheds trigger dump-on-alert when a dump dir is set).
     :param provenance: optional run-manifest dict stamped onto every
         publish, so serving versions trace back to this run.
+    :param prefetch: optional :class:`~repro.prefetch.PrefetchConfig`;
+        the streaming trainer buffers upcoming stream batches and
+        trains hot (frequently-hit-row) batches first while cold
+        batches' rows stage, using an
+        :class:`~repro.prefetch.AdaptiveResidency` oracle sized to
+        ``hot_rows``.  ``None`` keeps strict stream order.
     """
     if train_step_s <= 0:
         raise ValueError(f"train_step_s must be > 0, got {train_step_s}")
@@ -189,9 +195,20 @@ def simulate_stream(num_requests: int = 4_000, seed: int = 0,
         stream = DriftingStream(dataset, train_batch_size,
                                 drift_ids_per_step=drift_ids_per_step,
                                 seed=seed)
+        prefetcher = None
+        if prefetch is not None:
+            from repro.prefetch import (
+                AdaptiveResidency,
+                LookaheadPrefetcher,
+            )
+            adaptive = AdaptiveResidency(hot_k=max(1, int(hot_rows)))
+            prefetcher = LookaheadPrefetcher(
+                prefetch, resident=adaptive, observe=adaptive.observe,
+                row_bytes=row_bytes, step_seconds=train_step_s)
         trainer = StreamingTrainer(trainer_network, stream, registry,
                                    publish_interval=publish_interval,
-                                   flight=flight, provenance=provenance)
+                                   flight=flight, provenance=provenance,
+                                   prefetcher=prefetcher)
         swapper = HotSwapServer(server, registry, load_share=load_share)
         monitor = SloBurnRateMonitor(slo_ms=slo_s * 1e3,
                                      budget=burn_budget,

@@ -79,12 +79,18 @@ class StreamingTrainer:
         forwarded to the inner trainer (loss samples, step guard).
     :param provenance: optional run-manifest dict stamped onto every
         publish (delta headers + registry manifest entries).
+    :param prefetcher: optional
+        :class:`~repro.prefetch.LookaheadPrefetcher`; the trainer
+        buffers the next ``lookahead_depth`` stream positions and
+        trains them in the pipeline's hot-first order (publish cadence
+        still counts *steps*, not stream positions).  ``None`` — or a
+        FIFO/depth-1 pipeline — consumes the stream strictly in order.
     """
 
     def __init__(self, network: WdlNetwork, stream: DriftingStream,
                  registry: SnapshotRegistry, publish_interval: int = 50,
                  optimizer=None, tracer=None, registry_metrics=None,
-                 flight=None, provenance=None):
+                 flight=None, provenance=None, prefetcher=None):
         if publish_interval < 1:
             raise ValueError(
                 f"publish_interval must be >= 1, got {publish_interval}")
@@ -102,6 +108,8 @@ class StreamingTrainer:
         self._dirty: dict = {name: set() for name in network.embeddings}
         self._heat: dict = {name: FrequencyCounter()
                             for name in network.embeddings}
+        self.prefetcher = prefetcher
+        self._stream_pos = 0  # next stream position to buffer
 
     @property
     def step_index(self) -> int:
@@ -122,6 +130,17 @@ class StreamingTrainer:
             self._dirty[field_name].update(rows.tolist())
             self._heat[field_name].observe(rows)
 
+    def _next_batch(self):
+        """The next batch to train on (lookahead order when prefetching)."""
+        if self.prefetcher is None:
+            return self.stream.batch(self.stats.steps)
+        depth = self.prefetcher.config.lookahead_depth
+        while len(self.prefetcher) < depth:
+            self.prefetcher.push(self.stream.batch(self._stream_pos))
+            self._stream_pos += 1
+        _index, batch = self.prefetcher.pop()
+        return batch
+
     def step(self) -> float:
         """Train on the next stream batch; returns the loss.
 
@@ -129,7 +148,7 @@ class StreamingTrainer:
         accumulated since the last publish (the publish captures the
         weights *after* this step's update).
         """
-        batch = self.stream.batch(self.stats.steps)
+        batch = self._next_batch()
         loss = self._trainer.step(batch, index=self.stats.steps)
         self._harvest_dirty()
         self.stats.steps += 1

@@ -1,0 +1,58 @@
+"""Hot/cold heterogeneous prefetch pipeline (Hotline, arXiv 2204.05436).
+
+The cross-batch lookahead stage behind the facade's ``prefetch``
+config: classify upcoming batches hot (fast-tier resident) or cold,
+run hot batches while cold batches' rows stage on a background
+stream, and account for every second of fetch the foreground failed
+to hide.  One :class:`PrefetchConfig` drives the trainer, the
+streaming loop and the serving micro-batcher; classifiers are an open
+registry (``BATCH_CLASSIFIERS`` is a live view).
+"""
+
+from repro.prefetch.classifiers import (
+    AdaptiveResidency,
+    BatchClass,
+    FifoClassifier,
+    HotnessClassifier,
+    batch_classifier,
+    batch_classifiers,
+    register_batch_classifier,
+    resident_from_cache,
+    resident_from_counter,
+)
+from repro.prefetch.config import PrefetchConfig
+from repro.prefetch.pipeline import (
+    DEFAULT_FETCH_RATE,
+    LookaheadPrefetcher,
+    PrefetchRecord,
+    PrefetchStats,
+    choose_deadline_aware,
+    default_ids,
+)
+
+__all__ = [
+    "AdaptiveResidency",
+    "BATCH_CLASSIFIERS",
+    "BatchClass",
+    "DEFAULT_FETCH_RATE",
+    "FifoClassifier",
+    "HotnessClassifier",
+    "LookaheadPrefetcher",
+    "PrefetchConfig",
+    "PrefetchRecord",
+    "PrefetchStats",
+    "batch_classifier",
+    "batch_classifiers",
+    "choose_deadline_aware",
+    "default_ids",
+    "register_batch_classifier",
+    "resident_from_cache",
+    "resident_from_counter",
+]
+
+
+def __getattr__(name: str):
+    # Live view: plug-in registrations show up without re-import.
+    if name == "BATCH_CLASSIFIERS":
+        return batch_classifiers()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

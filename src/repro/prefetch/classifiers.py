@@ -1,0 +1,189 @@
+"""Batch hot/cold classifiers and their open registry.
+
+A *classifier* looks at one upcoming batch's IDs and decides whether
+it can run immediately (hot — its rows are resident in the fast tier)
+or should stage in the background first (cold).  Classifiers are an
+open registry exactly like the facade's framework registry
+(:func:`repro.api.register_framework`): built-ins ``"hotness"`` and
+``"fifo"`` ship registered, plug-ins bind a name to a factory, and
+``repro.prefetch.BATCH_CLASSIFIERS`` is a live view of whatever is
+currently registered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: name -> factory ``(config, resident=None) -> classifier``.
+_CLASSIFIER_REGISTRY: dict = {}
+
+
+def register_batch_classifier(name: str, factory,
+                              overwrite: bool = False) -> None:
+    """Bind a classifier name the pipeline resolves ``policy`` through.
+
+    :param factory: callable ``(config, resident=None) -> classifier``
+        receiving the :class:`~repro.prefetch.config.PrefetchConfig`
+        and an optional ``resident(id) -> bool`` residency oracle; the
+        returned object must expose ``classify(ids, index) ->
+        BatchClass``.
+    :param overwrite: allow rebinding an existing name (a plug-in
+        shadowing a built-in must opt in explicitly).
+    """
+    if not name:
+        raise ValueError("classifier name must be non-empty")
+    if not callable(factory):
+        raise TypeError(f"factory for {name!r} is not callable")
+    if name in _CLASSIFIER_REGISTRY and not overwrite:
+        raise ValueError(f"batch classifier {name!r} already registered; "
+                         "pass overwrite=True to replace it")
+    _CLASSIFIER_REGISTRY[name] = factory
+
+
+def batch_classifiers() -> tuple:
+    """Currently registered classifier names, in registration order."""
+    return tuple(_CLASSIFIER_REGISTRY)
+
+
+def batch_classifier(name: str):
+    """The registered factory for ``name`` (ValueError with choices)."""
+    try:
+        return _CLASSIFIER_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown batch classifier {name!r}; "
+            f"expected one of {batch_classifiers()}") from None
+
+
+@dataclass(frozen=True)
+class BatchClass:
+    """One batch's verdict: its residency score and hot/cold label.
+
+    :param score: fast-tier-resident fraction of the batch's unique
+        IDs, in ``[0, 1]``.
+    :param hot: whether the batch may run immediately
+        (``score >= hot_threshold`` for the hotness classifier).
+    """
+
+    index: int
+    score: float
+    hot: bool
+
+
+def resident_from_cache(cache):
+    """A residency oracle over a live embedding cache.
+
+    Supports :class:`~repro.embedding.multilevel.MultiLevelCache`
+    (fastest-tier placement) and
+    :class:`~repro.embedding.hybrid_hash.HybridHash` (hot-set
+    membership); raises :class:`TypeError` otherwise.
+    """
+    tiers = getattr(cache, "tiers", None)
+    if tiers is not None:
+        fastest = tiers[0].name
+        return lambda key: cache.tier_of(key) == fastest
+    hot_ids = getattr(cache, "hot_ids", None)
+    if hot_ids is not None:
+        return lambda key: int(key) in cache.hot_ids
+    raise TypeError(
+        f"no residency oracle for {type(cache).__name__}; "
+        "expected MultiLevelCache or HybridHash")
+
+
+def resident_from_counter(counter, hot_k: int):
+    """A residency oracle treating the counter's top-k as resident.
+
+    Mirrors Algorithm 1's flush: the ``hot_k`` most frequent IDs of a
+    :class:`~repro.embedding.counter.FrequencyCounter` are the rows
+    the fast tier would pin.  The top-k set is snapshotted per call to
+    keep classification O(1) per ID; rebuild the oracle after counter
+    updates that should be visible.
+    """
+    hot = frozenset(counter.top_k(hot_k))
+    return lambda key: int(key) in hot
+
+
+class AdaptiveResidency:
+    """Streaming residency oracle: learns the hot set as batches pass.
+
+    For pipelines with no live cache to consult (the continuous-
+    training loop trains on a drifting stream the serving cache never
+    sees), this oracle plays Algorithm 1's statistics half: every
+    observed batch feeds a :class:`FrequencyCounter`, and every
+    ``refresh_every`` observations the resident set snaps to the
+    counter's top-``hot_k`` — the rows a fast tier of that capacity
+    would pin.  Wire it as both the prefetcher's ``resident`` oracle
+    and its ``observe`` hook.
+    """
+
+    def __init__(self, hot_k: int, refresh_every: int = 8):
+        if hot_k < 1:
+            raise ValueError(f"hot_k must be >= 1, got {hot_k}")
+        if refresh_every < 1:
+            raise ValueError(
+                f"refresh_every must be >= 1, got {refresh_every}")
+        from repro.embedding.counter import FrequencyCounter
+        self.counter = FrequencyCounter()
+        self.hot_k = int(hot_k)
+        self.refresh_every = int(refresh_every)
+        self._hot: frozenset = frozenset()
+        self._since_refresh = 0
+
+    def observe(self, ids) -> None:
+        """Feed one batch's IDs; refreshes the hot set periodically."""
+        self.counter.observe(np.asarray(ids).ravel())
+        self._since_refresh += 1
+        if self._since_refresh >= self.refresh_every:
+            self._hot = frozenset(self.counter.top_k(self.hot_k))
+            self._since_refresh = 0
+
+    def __call__(self, key) -> bool:
+        return int(key) in self._hot
+
+
+class HotnessClassifier:
+    """Hot iff enough of the batch's unique IDs are tier-resident.
+
+    Without a residency oracle every ID counts as cold (score 0.0), so
+    the pipeline stages everything it can — the conservative default
+    when no cache state is attached.
+    """
+
+    def __init__(self, hot_threshold: float, resident=None):
+        if not 0.0 <= hot_threshold <= 1.0:
+            raise ValueError(
+                f"hot_threshold must be in [0, 1], got {hot_threshold}")
+        self.hot_threshold = float(hot_threshold)
+        self.resident = resident
+
+    def classify(self, ids, index: int) -> BatchClass:
+        """Score one batch's IDs against the residency oracle."""
+        unique = np.unique(np.asarray(ids).ravel())
+        if unique.size == 0 or self.resident is None:
+            score = 0.0
+        else:
+            score = sum(1 for key in unique.tolist()
+                        if self.resident(key)) / unique.size
+        return BatchClass(index=index, score=score,
+                          hot=score >= self.hot_threshold)
+
+
+class FifoClassifier:
+    """Every batch is hot: strict arrival order, nothing ever stages.
+
+    The identity policy — a pipeline running this classifier is
+    bit-for-bit today's trainer regardless of lookahead depth.
+    """
+
+    def classify(self, ids, index: int) -> BatchClass:
+        return BatchClass(index=index, score=1.0, hot=True)
+
+
+register_batch_classifier(
+    "hotness",
+    lambda config, resident=None: HotnessClassifier(
+        config.hot_threshold, resident=resident))
+register_batch_classifier(
+    "fifo", lambda config, resident=None: FifoClassifier())

@@ -172,6 +172,12 @@ class ModelServer:
         ]
         return np.concatenate(keys) if keys else np.zeros(0, np.int64)
 
+    def batch_keys(self, requests: list) -> np.ndarray:
+        """Public view of a batch's cache keys (prefetch classifiers
+        score residency in the same union ID space the cache is keyed
+        on)."""
+        return self._cache_keys(requests)
+
     def _fetch_seconds(self, keys: np.ndarray) -> float:
         """Modeled embedding-fetch time under current placement."""
         if isinstance(self.cache, MultiLevelCache):
@@ -247,10 +253,66 @@ class ModelServer:
         return self.cache.stats.hit_ratio
 
 
+def _deadline_aware_order(sealed: list, prefetcher, server: ModelServer,
+                          policy: SloPolicy, server_free):
+    """Yield ``(seal_index, batch)`` in hot-first, deadline-safe order.
+
+    The serving mirror of the trainer's lookahead window: up to
+    ``lookahead_depth`` *already-sealed* batches are candidates, a
+    tier-resident (hot) batch may jump ahead of colder older ones, and
+    :func:`~repro.prefetch.pipeline.choose_deadline_aware` guarantees
+    the jump never pushes a deferred batch past its SLO deadline — a
+    batch at its starvation bound or deadline edge is served next
+    regardless of temperature.  Batches that have not sealed yet by
+    the time the server frees are never candidates (no time travel).
+
+    :param server_free: zero-arg callable returning the server's
+        current free time (advances as the caller serves batches).
+    """
+    from repro.prefetch.pipeline import choose_deadline_aware
+
+    depth = prefetcher.config.lookahead_depth
+    budget = policy.config.latency_budget_s
+    pending = list(sealed)
+    pending.reverse()  # pop() from the tail = seal order
+    window: list = []  # [seal_index, batch, deferred]
+    while pending or window:
+        while pending and len(window) < depth:
+            window.append(list(pending.pop()) + [0])
+        now = max(server_free(),
+                  min(entry[1].close_s for entry in window))
+        eligible = [entry for entry in window
+                    if entry[1].close_s <= now]
+        if len(eligible) <= 1 or not prefetcher.config.reorders:
+            choice = 0
+            eligible = window[:1]
+        else:
+            classes = [prefetcher.classifier.classify(
+                server.batch_keys(list(entry[1].requests)), entry[0])
+                for entry in eligible]
+            estimates = [server.estimate_service_s(
+                list(entry[1].requests)) for entry in eligible]
+            deadlines = [min(request.arrival_s
+                             for request in entry[1].requests) + budget
+                         for entry in eligible]
+            choice = choose_deadline_aware(
+                classes, estimates, deadlines, now, depth,
+                [entry[2] for entry in eligible])
+        if choice != 0:
+            prefetcher.stats.reordered += 1
+            for entry in eligible[:choice]:
+                entry[2] += 1
+        # ``eligible`` is a seal-order prefix of ``window``, so the
+        # eligible position is also the window position.
+        chosen = window.pop(choice)
+        prefetcher.stats.batches += 1
+        yield chosen[0], chosen[1]
+
+
 def serve_trace(requests: list, server: ModelServer,
                 batcher: MicroBatcher, policy: SloPolicy,
                 tracer=None, metrics=None, faults=None,
-                flight=None) -> ServingReport:
+                flight=None, prefetcher=None) -> ServingReport:
     """Run a request trace through batcher -> SLO gate -> server.
 
     A single-server queue in modeled time: batch ``i`` starts at
@@ -275,10 +337,21 @@ def serve_trace(requests: list, server: ModelServer,
     :param flight: optional :class:`repro.telemetry.FlightRecorder`;
         batch spans and shed alerts land in its ring (a shed triggers
         a dump-on-alert with the last retention window of context).
+    :param prefetcher: optional
+        :class:`~repro.prefetch.LookaheadPrefetcher`; sealed batches
+        are served in its deadline-aware hot-first order (see
+        :func:`_deadline_aware_order`) instead of strict seal order.
     """
     metrics = metrics if metrics is not None else ServingMetrics()
     server_free = 0.0
-    for index, batch in enumerate(batcher.form_batches(requests)):
+    sealed = list(enumerate(batcher.form_batches(requests)))
+    if prefetcher is None:
+        ordered = iter(sealed)
+    else:
+        ordered = _deadline_aware_order(
+            [pair for pair in sealed], prefetcher, server, policy,
+            lambda: server_free)
+    for index, batch in ordered:
         start = max(batch.close_s, server_free)
         estimate = server.estimate_service_s(list(batch.requests))
         if faults is not None:
@@ -348,7 +421,7 @@ def simulate_serving(num_requests: int = 10_000, seed: int = 0,
                      variant: str = "wdl",
                      replicas: int = 1, fault_plan=None,
                      tracer=None, metrics=None,
-                     flight=None) -> ServingReport:
+                     flight=None, prefetch=None) -> ServingReport:
     """End-to-end serving simulation; the facade's entry point.
 
     Builds traffic, cache hierarchy (``cache`` in :data:`CACHE_KINDS`),
@@ -361,6 +434,11 @@ def simulate_serving(num_requests: int = 10_000, seed: int = 0,
     degraded mode (service inflation + admission tightening) instead
     of dropping traffic on the floor, and the report's ``degraded``
     field accounts for it.
+
+    ``prefetch`` (a :class:`~repro.prefetch.PrefetchConfig`) turns on
+    deadline-aware hot-first batch ordering: sealed batches whose rows
+    are resident in the fast cache tier may run ahead of colder ones,
+    but never past any deferred batch's SLO deadline.
     """
     dataset = dataset or default_serving_dataset()
     network = WdlNetwork(dataset, variant=variant, seed=seed)
@@ -388,5 +466,12 @@ def simulate_serving(num_requests: int = 10_000, seed: int = 0,
         # the SLO types, so the reverse edge must stay runtime-only.
         from repro.faults.degraded import DegradedModeController
         faults = DegradedModeController(fault_plan, replicas=replicas)
+    prefetcher = None
+    if prefetch is not None:
+        from repro.prefetch import LookaheadPrefetcher, resident_from_cache
+        prefetcher = LookaheadPrefetcher(
+            prefetch, resident=resident_from_cache(store),
+            row_bytes=row_bytes)
     return serve_trace(requests, server, batcher, policy, tracer=tracer,
-                       metrics=metrics, faults=faults, flight=flight)
+                       metrics=metrics, faults=faults, flight=flight,
+                       prefetcher=prefetcher)

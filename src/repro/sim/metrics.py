@@ -77,14 +77,30 @@ def utilization_cdf(recorder: TraceRecorder, kind: ResourceKind,
     return levels, cdf
 
 
+#: Gap below which two intervals are considered abutting.  Interval
+#: endpoints come from summing float phase durations, so two segments
+#: of one logically-contiguous busy span can disagree at the shared
+#: endpoint by a few ulps; without the tolerance they never re-merge
+#: and every overlap query under-credits the junction.
+MERGE_EPSILON = 1e-12
+
+
 def merge_intervals(intervals) -> list:
-    """Coalesce (t0, t1) intervals into disjoint sorted spans."""
+    """Coalesce (t0, t1) intervals into disjoint sorted spans.
+
+    Intervals are half-open ``[t0, t1)``: a span ending at ``t`` and a
+    span starting at ``t`` are exactly abutting and merge into one
+    (the resource was continuously busy across the junction — there is
+    no measure-zero idle instant between them).  Gaps up to
+    :data:`MERGE_EPSILON` also merge, absorbing float noise in
+    endpoints accumulated from summing phase durations.
+    """
     intervals = sorted(intervals)
     if not intervals:
         return []
     merged = [list(intervals[0])]
     for t0, t1 in intervals[1:]:
-        if t0 > merged[-1][1]:
+        if t0 > merged[-1][1] + MERGE_EPSILON:
             merged.append([t0, t1])
         else:
             merged[-1][1] = max(merged[-1][1], t1)
@@ -108,7 +124,14 @@ def merged_busy_intervals(recorder: TraceRecorder, kinds) -> list:
 
 
 def intersect_seconds(spans_a, spans_b) -> float:
-    """Total overlap of two disjoint, sorted (t0, t1) interval lists."""
+    """Total overlap of two disjoint, sorted (t0, t1) interval lists.
+
+    Half-open semantics: spans that merely share an endpoint have
+    measure-zero intersection and contribute nothing — only ``hi >
+    lo`` regions count.  Inputs must each be pre-merged (e.g. by
+    :func:`merge_intervals`); abutment *within* one list is that
+    function's responsibility, not this one's.
+    """
     total = 0.0
     i = j = 0
     while i < len(spans_a) and j < len(spans_b):

@@ -38,6 +38,15 @@ MEMORY_KINDS = frozenset({ResourceKind.HBM, ResourceKind.DRAM, ResourceKind.PCIE
 #: Resource classes that count as "computation" in the breakdowns.
 COMPUTE_KINDS = frozenset({ResourceKind.GPU_SM, ResourceKind.CPU})
 
+#: Resource classes on which a *kernel* executes — compute units plus
+#: the memory channels that memory-bound kernels (gather, stitch, hash
+#: probes) keep busy.  This is the DCGM-flavoured "device is doing
+#: useful work" definition behind Fig. 11's utilization plots; the
+#: transfer fabrics (PCIe, NVLink, NIC) are excluded because time on
+#: them is a fetch in flight, not a kernel resident.
+EXECUTION_KINDS = frozenset({ResourceKind.GPU_SM, ResourceKind.CPU,
+                             ResourceKind.HBM, ResourceKind.DRAM})
+
 
 @dataclass(frozen=True)
 class Phase:

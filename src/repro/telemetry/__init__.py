@@ -39,6 +39,7 @@ from repro.telemetry.monitor import (
     CacheHealthMonitor,
     MonitorReport,
     OverlapMonitor,
+    PrefetchMonitor,
     PulseDetector,
     SkewMonitor,
     SloBurnRateMonitor,
@@ -90,6 +91,7 @@ __all__ = [
     "OverlapMonitor",
     "PathEntry",
     "PathStep",
+    "PrefetchMonitor",
     "PulseDetector",
     "RollingWindow",
     "RunManifest",

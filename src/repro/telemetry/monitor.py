@@ -37,12 +37,12 @@ from repro.sim.metrics import (
     intersect_seconds,
     merge_intervals,
     merged_busy_intervals,
-    overlap_seconds,
     utilization_timeline,
 )
 from repro.sim.resource import (
     COMMUNICATION_KINDS,
     COMPUTE_KINDS,
+    EXECUTION_KINDS,
     MEMORY_KINDS,
 )
 from repro.embedding.placement import max_mean_ratio
@@ -242,32 +242,71 @@ class PulseDetector:
 
 
 class OverlapMonitor:
-    """How much communication the run hid behind compute (Eq. 3).
+    """How much synchronous communication the run hid behind execution.
 
-    The overlap ratio is (seconds during which communication and
-    compute were simultaneously busy) / (seconds during which
-    communication was busy at all): 1.0 means every transferred byte
-    was hidden, 0.0 means communication fully serialized with compute.
-    With task records available, the same ratio is reported per
-    K-Interleaving group (``tags["group"]``), exposing which packed
-    embedding groups the schedule actually pipelines.
+    The overlap ratio is (seconds during which synchronous
+    communication and kernel execution were simultaneously busy) /
+    (seconds during which synchronous communication was busy at all):
+    1.0 means every transferred byte was hidden, 0.0 means
+    communication fully serialized with execution.
+
+    "Execution" is :data:`~repro.sim.resource.EXECUTION_KINDS`:
+    compute units plus the memory channels that memory-bound kernels
+    keep busy.  Eq. 3 hides one group's exchange behind *other*
+    groups' compute **and** memory ops, so a gather's fetch interval
+    abutting an MLP's compute interval is one continuous busy span for
+    hiding purposes — counting only ``GPU_SM``/``CPU`` (the old
+    behaviour) dropped every such junction and systematically
+    under-credited the schedule.
+
+    With task records available, the background prefetch stream's own
+    wire time is excluded from the denominator — the stream exists to
+    be off the synchronous path, and its exposure is
+    :class:`PrefetchMonitor`'s metric, not this one's — and the same
+    ratio is reported per K-Interleaving group (``tags["group"]``),
+    exposing which packed embedding groups the schedule actually
+    pipelines.
     """
 
     name = "overlap"
 
-    def __init__(self, min_overlap_ratio: float = 0.1):
+    def __init__(self, min_overlap_ratio: float = 0.1,
+                 execution_kinds=EXECUTION_KINDS):
         self.min_overlap_ratio = float(min_overlap_ratio)
+        self.execution_kinds = frozenset(execution_kinds)
 
     @staticmethod
     def _comm_values():
         return {kind.value for kind in COMMUNICATION_KINDS}
 
+    def _sync_comm_spans(self, recorder, records) -> list:
+        """Merged busy spans of non-background communication.
+
+        Falls back to all-comm busy time when no task records are
+        available (recorder timelines cannot attribute segments to the
+        ops that drove them).
+        """
+        if records is None:
+            return merged_busy_intervals(recorder, COMMUNICATION_KINDS)
+        comm_values = self._comm_values()
+        spans = []
+        for record in records:
+            if record.tags.get("layer") == "prefetch":
+                continue
+            for kind_value, t0, t1 in record.segments:
+                if kind_value in comm_values and t1 > t0:
+                    spans.append((t0, t1))
+        return merge_intervals(spans)
+
     def group_ratios(self, recorder, records) -> dict:
         """Per-group overlap ratio from task-record comm segments."""
         comm_values = self._comm_values()
-        compute_spans = merged_busy_intervals(recorder, COMPUTE_KINDS)
+        execution_spans = merged_busy_intervals(recorder,
+                                                self.execution_kinds)
         group_comm: dict = {}
         for record in records:
+            if record.tags.get("layer") == "prefetch":
+                continue
             group = record.tags.get("group")
             if group is None:
                 continue
@@ -280,17 +319,18 @@ class OverlapMonitor:
             comm_total = sum(t1 - t0 for t0, t1 in spans)
             if comm_total <= 0:
                 continue
-            hidden = intersect_seconds(spans, compute_spans)
+            hidden = intersect_seconds(spans, execution_spans)
             ratios[group] = hidden / comm_total
         return ratios
 
     def analyze(self, recorder, makespan: float,
                 records=None) -> MonitorReport:
         """Overall + per-group overlap ratios and an exposure alert."""
-        comm_spans = merged_busy_intervals(recorder, COMMUNICATION_KINDS)
+        comm_spans = self._sync_comm_spans(recorder, records)
         comm_total = sum(t1 - t0 for t0, t1 in comm_spans)
-        hidden = overlap_seconds(
-            recorder, COMMUNICATION_KINDS, COMPUTE_KINDS)
+        hidden = intersect_seconds(
+            comm_spans,
+            merged_busy_intervals(recorder, self.execution_kinds))
         ratio = hidden / comm_total if comm_total > 0 else 0.0
         alerts = []
         if comm_total > 0 and ratio < self.min_overlap_ratio:
@@ -300,7 +340,7 @@ class OverlapMonitor:
                 time_s=comm_spans[0][0],
                 monitor=self.name,
                 severity="warning",
-                message=(f"comm/compute overlap {ratio:.1%} below "
+                message=(f"comm/execution overlap {ratio:.1%} below "
                          f"{self.min_overlap_ratio:.1%}; "
                          f"{comm_total - hidden:.4f}s of communication "
                          "exposed"),
@@ -320,6 +360,94 @@ class OverlapMonitor:
             group_ratios = self.group_ratios(recorder, records)
             summary["group_overlap_ratios"] = group_ratios
             summary["num_groups"] = len(group_ratios)
+        return MonitorReport(
+            monitor=self.name,
+            healthy=not alerts,
+            summary=summary,
+            alerts=tuple(alerts))
+
+
+class PrefetchMonitor:
+    """Exposure of the hot/cold background prefetch stream.
+
+    The stream's whole purpose is to fetch cold embedding rows while
+    foreground kernels run (Hotline, arXiv 2204.05436); its health
+    signal is therefore *exposed-fetch seconds* — stream busy time
+    during which no foreground op was executing, i.e. fetch latency
+    the lookahead failed to hide.  Stream ops are identified by
+    ``tags["layer"] == "prefetch"``; foreground spans are every other
+    op's busy segments on any resource.  Per-group exposure pinpoints
+    which packed embedding group's staging runs ahead of (or behind)
+    the pipeline.
+    """
+
+    name = "prefetch"
+
+    def __init__(self, max_exposed_fraction: float = 0.5):
+        self.max_exposed_fraction = float(max_exposed_fraction)
+
+    @staticmethod
+    def _spans(records, predicate) -> list:
+        spans = []
+        for record in records:
+            if not predicate(record):
+                continue
+            for _kind, t0, t1 in record.segments:
+                if t1 > t0:
+                    spans.append((t0, t1))
+        return merge_intervals(spans)
+
+    def analyze(self, recorder, makespan: float,
+                records=None) -> MonitorReport:
+        """Stream exposure summary + a poorly-hidden-stream alert."""
+        records = records or ()
+        stream = self._spans(
+            records, lambda r: r.tags.get("layer") == "prefetch")
+        foreground = self._spans(
+            records, lambda r: r.tags.get("layer") != "prefetch")
+        fetch_total = sum(t1 - t0 for t0, t1 in stream)
+        hidden = intersect_seconds(stream, foreground)
+        exposed = fetch_total - hidden
+        ratio = hidden / fetch_total if fetch_total > 0 else 0.0
+        per_group: dict = {}
+        for record in records:
+            if record.tags.get("layer") != "prefetch":
+                continue
+            group = str(record.tags.get("group", "?"))
+            spans = merge_intervals(
+                [(t0, t1) for _k, t0, t1 in record.segments if t1 > t0])
+            busy = sum(t1 - t0 for t0, t1 in spans)
+            prev_busy, prev_hidden = per_group.get(group, (0.0, 0.0))
+            per_group[group] = (
+                prev_busy + busy,
+                prev_hidden + intersect_seconds(spans, foreground))
+        alerts = []
+        if fetch_total > 0 and exposed / fetch_total \
+                > self.max_exposed_fraction:
+            alerts.append(Alert(
+                time_s=stream[0][0],
+                monitor=self.name,
+                severity="warning",
+                message=(f"prefetch stream {exposed / fetch_total:.1%} "
+                         f"exposed (> {self.max_exposed_fraction:.1%}); "
+                         f"{exposed:.4f}s of staging ran with the "
+                         "foreground pipeline idle"),
+                value=exposed / fetch_total,
+                threshold=self.max_exposed_fraction,
+                name="exposed_prefetch",
+                data={"exposed_fetch_seconds": exposed,
+                      "prefetch_seconds": fetch_total,
+                      "overlapped_seconds": hidden}))
+        summary = {
+            "prefetch_seconds": fetch_total,
+            "overlapped_seconds": hidden,
+            "exposed_fetch_seconds": exposed,
+            "overlap_ratio": ratio,
+            "group_exposure": {
+                group: {"busy_seconds": busy,
+                        "exposed_seconds": busy - hid}
+                for group, (busy, hid) in sorted(per_group.items())},
+        }
         return MonitorReport(
             monitor=self.name,
             healthy=not alerts,

@@ -130,15 +130,28 @@ class SyncTrainer:
                 self.flight.record_alert(alert)
         return loss
 
-    def train(self, iterator, steps: int) -> list:
-        """Run ``steps`` updates; returns per-step losses."""
+    def train(self, iterator, steps: int, prefetcher=None) -> list:
+        """Run ``steps`` updates; returns per-step losses.
+
+        :param prefetcher: optional
+            :class:`~repro.prefetch.LookaheadPrefetcher`; batches are
+            emitted in its hot-first window order (each step keeps its
+            *original* stream index for telemetry attribution).  With
+            ``None`` — or a FIFO/depth-1 pipeline — the loop is
+            bit-for-bit the legacy arrival-order path.
+        """
         if steps < 0:
             raise ValueError("steps must be >= 0")
         losses = []
         with maybe_span(self.tracer, "train", category="training",
                         track="train", steps=steps):
-            for index, batch in enumerate(iterator.batches(steps)):
-                losses.append(self.step(batch, index))
+            if prefetcher is None:
+                for index, batch in enumerate(iterator.batches(steps)):
+                    losses.append(self.step(batch, index))
+            else:
+                for index, batch in prefetcher.schedule(
+                        iterator.batches(steps)):
+                    losses.append(self.step(batch, index))
         return losses
 
 

@@ -121,4 +121,8 @@ def default_space() -> KnobSpace:
         Knob("micro_batches", (1, 2, 3, 4, 8)),
         Knob("hot_storage_bytes",
              (0.5 * _GIB, 1.0 * _GIB, 2.0 * _GIB)),
+        # Hot/cold lookahead pipeline: window depth and the residency
+        # bar for running a batch ahead of colder ones.
+        Knob("prefetch_lookahead", (1, 2, 4)),
+        Knob("prefetch_hot_threshold", (0.4, 0.6, 0.8)),
     ))

@@ -35,6 +35,15 @@ from repro.replay import CostHooks, ReplayResult, TraceReplayer
 #: The iteration-boundary marker throughput accounting keys off.
 FIRST_STEP_MARKER = "it0/step_end"
 
+#: Fraction of the background prefetch stream's planned work credited
+#: as hidden when predicting a candidate analytically.  The stream
+#: runs on its own per-group chains and mostly overlaps foreground
+#: execution, but the warm-up iteration and tail exposure keep the
+#: realized hiding below perfect — charging the full stream work as
+#: foreground (credit 0) would bury the lookahead knobs, crediting it
+#: all (1) would over-predict them.
+PREFETCH_HIDE_CREDIT = 0.7
+
 
 @dataclass(frozen=True)
 class Prediction:
@@ -96,13 +105,15 @@ class ReplayPredictor:
         planner = PicassoPlanner(picasso)
         return planner.plan(self.model, self.cluster, self.batch_size)
 
-    def plan_work(self, picasso: PicassoConfig) -> dict:
-        """Planned work per resource-kind value (and solo seconds).
+    def _plan_totals(self, picasso: PicassoConfig) -> tuple:
+        """``(totals, stream)`` planned work per resource-kind value.
 
-        Returns ``{kind_value: (work, solo_seconds)}`` where solo
-        seconds price each phase at its uncontended rate — the
-        analytic lower bound the successive-halving rung-0 screen
-        ranks by.
+        ``totals`` maps ``kind_value -> (work, solo_seconds)`` over
+        *every* task; ``stream`` maps ``kind_value -> work`` counting
+        only background prefetch-stream tasks (``tags["layer"] ==
+        "prefetch"``), which mostly hide under foreground execution
+        and must not be charged at face value (see
+        :data:`PREFETCH_HIDE_CREDIT`).
         """
         key = _picasso_key(picasso)
         cached = self._work_cache.get(key)
@@ -111,15 +122,30 @@ class ReplayPredictor:
         _graph, tasks, resources = compile_plan(
             self._plan(picasso), self.iterations)
         totals: dict = {}
+        stream: dict = {}
         for task in tasks:
+            on_stream = task.tags.get("layer") == "prefetch"
             for phase in task.phases:
                 rate = min(resources[phase.kind].capacity,
                            phase.max_rate)
                 work, solo = totals.get(phase.kind.value, (0.0, 0.0))
                 totals[phase.kind.value] = (work + phase.work,
                                             solo + phase.work / rate)
-        self._work_cache[key] = totals
-        return totals
+                if on_stream:
+                    stream[phase.kind.value] = (
+                        stream.get(phase.kind.value, 0.0) + phase.work)
+        self._work_cache[key] = (totals, stream)
+        return totals, stream
+
+    def plan_work(self, picasso: PicassoConfig) -> dict:
+        """Planned work per resource-kind value (and solo seconds).
+
+        Returns ``{kind_value: (work, solo_seconds)}`` where solo
+        seconds price each phase at its uncontended rate — the
+        analytic lower bound the successive-halving rung-0 screen
+        ranks by.
+        """
+        return self._plan_totals(picasso)[0]
 
     def bound_seconds(self, picasso: PicassoConfig) -> float:
         """Busiest-resource solo seconds: a makespan lower bound."""
@@ -128,13 +154,22 @@ class ReplayPredictor:
                    default=0.0)
 
     def hooks_for(self, picasso: PicassoConfig) -> CostHooks:
-        """Per-kind work-ratio cost hooks for one candidate."""
-        candidate = self.plan_work(picasso)
+        """Per-kind work-ratio cost hooks for one candidate.
+
+        Work the candidate spends on the background prefetch stream is
+        discounted by :data:`PREFETCH_HIDE_CREDIT` before the ratio:
+        the base trace is (typically) prefetch-off, so charging the
+        stream as if it ran in the foreground would make every
+        lookahead candidate look strictly worse than its real run.
+        """
+        candidate, stream = self._plan_totals(picasso)
         scales = {}
         for kind_value, (base_work, _solo) in self._base_work.items():
             if base_work <= 0.0:
                 continue
             work = candidate.get(kind_value, (0.0, 0.0))[0]
+            work = max(0.0, work - PREFETCH_HIDE_CREDIT
+                       * stream.get(kind_value, 0.0))
             scale = work / base_work
             if scale < 1.0:
                 # A knob can zero out a kind entirely (e.g. caching

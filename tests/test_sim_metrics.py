@@ -5,6 +5,9 @@ import pytest
 
 from repro.sim.metrics import (
     bandwidth_timeline,
+    intersect_seconds,
+    merge_intervals,
+    overlap_seconds,
     busy_fraction,
     mean_utilization,
     utilization_cdf,
@@ -84,3 +87,40 @@ class TestScalars:
         recorder = _recorder_with_half_busy()
         assert busy_fraction(recorder, ResourceKind.NET, 0.0) == 0.0
         assert mean_utilization(recorder, ResourceKind.NET, 0.0) == 0.0
+
+
+class TestIntervalBoundaries:
+    """Half-open boundary semantics at interval abutment.
+
+    Regression cover for the overlap under-credit: two busy segments
+    sharing an endpoint are one continuous busy span, and a comm span
+    crossing that junction must be credited as fully hidden.
+    """
+
+    def test_exact_abutment_merges(self):
+        assert merge_intervals([(0.0, 1.0), (1.0, 2.0)]) == [(0.0, 2.0)]
+
+    def test_float_noise_abutment_merges(self):
+        # A sub-epsilon gap from endpoint float noise is not a
+        # real idle instant.
+        merged = merge_intervals([(0.0, 0.5 - 1e-13), (0.5, 1.0)])
+        assert merged == [(0.0, 1.0)]
+
+    def test_real_gap_survives(self):
+        assert merge_intervals([(0.0, 1.0), (1.5, 2.0)]) \
+            == [(0.0, 1.0), (1.5, 2.0)]
+
+    def test_shared_endpoint_has_zero_intersection(self):
+        assert intersect_seconds([(0.0, 1.0)], [(1.0, 2.0)]) == 0.0
+
+    def test_overlap_credits_across_abutting_compute(self):
+        recorder = TraceRecorder({ResourceKind.NET: 1.0,
+                                  ResourceKind.GPU_SM: 1.0})
+        recorder.add_interval(0.0, 1.0, {ResourceKind.NET: 1.0})
+        recorder.add_interval(0.0, 0.5 - 1e-13,
+                              {ResourceKind.GPU_SM: 1.0})
+        recorder.add_interval(0.5, 1.0, {ResourceKind.GPU_SM: 1.0})
+        hidden = overlap_seconds(recorder, [ResourceKind.NET],
+                                 [ResourceKind.GPU_SM])
+        # The junction at t=0.5 must not leak exposed time.
+        assert hidden == pytest.approx(1.0, abs=1e-9)

@@ -113,7 +113,8 @@ class TestKnobSpace:
         assert rebuilt == space
         assert [knob.name for knob in space] \
             == ["interleave_sets", "micro_batches",
-                "hot_storage_bytes"]
+                "hot_storage_bytes", "prefetch_lookahead",
+                "prefetch_hot_threshold"]
 
 
 class TestReplayPredictor:
