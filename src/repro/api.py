@@ -148,6 +148,11 @@ def _encode_cluster(spec) -> str:
     return f"{cluster.name}:{cluster.num_nodes}"
 
 
+#: Process-wide memos for the facade's deterministic spec builders.
+_MODEL_CACHE: dict = {}
+_CLUSTER_CACHE: dict = {}
+
+
 @dataclass(frozen=True)
 class RunConfig(ConfigBase):
     """A declarative simulation request (the CLI's flags, as data).
@@ -200,14 +205,29 @@ class RunConfig(ConfigBase):
 
     def resolved_cluster(self) -> ClusterSpec:
         """The cluster this config runs on."""
+        if isinstance(self.cluster, str):
+            cached = _CLUSTER_CACHE.get(self.cluster)
+            if cached is None:
+                cached = parse_cluster(self.cluster)
+                _CLUSTER_CACHE[self.cluster] = cached
+            return cached
         return parse_cluster(self.cluster)
 
     def build_model(self) -> ModelSpec:
         """Instantiate the model over the (scaled) dataset.
 
+        Model and dataset specs are immutable and their construction is
+        deterministic, so results are memoized process-wide — sweeps
+        and benchmark loops re-requesting the same workload share one
+        spec.
+
         Raises :class:`KeyError`-flavoured :class:`ValueError` for
         unknown model or dataset names, listing the valid choices.
         """
+        key = (self.model, self.dataset, self.scale)
+        cached = _MODEL_CACHE.get(key)
+        if cached is not None:
+            return cached
         if self.model not in MODEL_BUILDERS:
             raise ValueError(
                 f"unknown model {self.model!r}; "
@@ -217,7 +237,11 @@ class RunConfig(ConfigBase):
                 f"unknown dataset {self.dataset!r}; "
                 f"expected one of {list(ALL_DATASETS)}")
         dataset = ALL_DATASETS[self.dataset](self.scale)
-        return MODEL_BUILDERS[self.model](dataset)
+        model = MODEL_BUILDERS[self.model](dataset)
+        if len(_MODEL_CACHE) >= 128:
+            _MODEL_CACHE.clear()
+        _MODEL_CACHE[key] = model
+        return model
 
 
 def _run_picasso(config: RunConfig, model: ModelSpec,

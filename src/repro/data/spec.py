@@ -73,6 +73,13 @@ class DatasetSpec:
         names = [spec.name for spec in self.fields]
         if len(set(names)) != len(names):
             raise ValueError("duplicate field names in dataset spec")
+        # Name -> spec index for O(1) ``field()`` lookups; graph builds
+        # resolve fields hundreds of times per module, so a linear scan
+        # over wide datasets dominates plan/compile time.  Stored via
+        # ``object.__setattr__`` (frozen dataclass); not a dataclass
+        # field, so equality/hash semantics are unchanged.
+        object.__setattr__(
+            self, "_field_index", {spec.name: spec for spec in self.fields})
 
     @property
     def num_fields(self) -> int:
@@ -91,10 +98,7 @@ class DatasetSpec:
 
     def field(self, name: str) -> FieldSpec:
         """Look up a field by name; raises :class:`KeyError` if absent."""
-        for spec in self.fields:
-            if spec.name == name:
-                return spec
-        raise KeyError(name)
+        return self._field_index[name]
 
     def replicated(self, multiple: int) -> "DatasetSpec":
         """Duplicate every feature field ``multiple`` times (Tab. VIII).

@@ -89,6 +89,9 @@ class HybridHash:
         #: iteration counts at which the hot set was flushed.
         self.flush_history: list = []
         self._hot_ids: set = set()
+        #: sorted int64 mirror of ``_hot_ids`` for vectorized
+        #: membership tests (``np.isin`` over a query batch).
+        self._hot_arr: np.ndarray = np.empty(0, dtype=np.int64)
         self._iteration = 0
         self._pin_all = False
 
@@ -126,10 +129,12 @@ class HybridHash:
 
         # L14-21: split between hot hits and cold misses, keep counting.
         self.counter.observe(ids)
-        hits = 0
-        for raw in ids:
-            if int(raw) in self._hot_ids or self._pin_all:
-                hits += 1
+        if self._pin_all:
+            hits = int(ids.size)
+        else:
+            keys = ids.astype(np.int64, copy=False)
+            hits = int(np.isin(keys, self._hot_arr,
+                               assume_unique=False).sum())
         self.stats.hot_hits += hits
         self.stats.cold_misses += int(ids.size) - hits
         self.hit_history.append(hits / ids.size if ids.size else 0.0)
@@ -152,7 +157,8 @@ class HybridHash:
             return 0.0
         if self._pin_all:
             return 1.0
-        hits = sum(1 for raw in unique if int(raw) in self._hot_ids)
+        hits = int(np.isin(unique.astype(np.int64, copy=False),
+                           self._hot_arr).sum())
         return hits / unique.size
 
     def _maybe_pin_all(self) -> None:
@@ -174,5 +180,8 @@ class HybridHash:
             # top-k caching.
             self._pin_all = False
         self._hot_ids = set(self.counter.top_k(self.hot_capacity_rows))
+        self._hot_arr = np.fromiter(self._hot_ids, dtype=np.int64,
+                                    count=len(self._hot_ids))
+        self._hot_arr.sort()
         self.stats.flushes += 1
         self.flush_history.append(self._iteration)

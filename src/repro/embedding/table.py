@@ -43,12 +43,27 @@ class EmbeddingTable:
         return (rng.standard_normal(self.dim) * self._scale).astype(
             np.float32)
 
-    def lookup(self, ids: np.ndarray) -> np.ndarray:
-        """Fetch rows for ``ids`` (shape ``(n, dim)``), creating them."""
-        ids = np.asarray(ids).ravel()
-        out = np.empty((ids.size, self.dim), dtype=np.float32)
+    @staticmethod
+    def _unique_first_order(ids: np.ndarray) -> tuple:
+        """``(unique, inverse)`` with uniques in first-occurrence order.
+
+        ``np.unique`` sorts; reordering by first occurrence keeps the
+        row-creation (dict insertion) order identical to the legacy
+        per-element loop, so ``keys()`` and row values stay bitwise
+        stable across the vectorization.
+        """
+        unique, first, inverse = np.unique(
+            ids, return_index=True, return_inverse=True)
+        order = np.argsort(first, kind="stable")
+        rank = np.empty(order.size, dtype=inverse.dtype)
+        rank[order] = np.arange(order.size, dtype=inverse.dtype)
+        return unique[order], rank[inverse.ravel()]
+
+    def _gather_unique(self, unique: np.ndarray) -> np.ndarray:
+        """Rows for already-deduplicated IDs, creating missing ones."""
         rows = self._rows
-        for index, raw in enumerate(ids):
+        out = np.empty((unique.size, self.dim), dtype=np.float32)
+        for index, raw in enumerate(unique.tolist()):
             key = int(raw)
             row = rows.get(key)
             if row is None:
@@ -57,6 +72,20 @@ class EmbeddingTable:
             out[index] = row
         return out
 
+    def lookup(self, ids: np.ndarray) -> np.ndarray:
+        """Fetch rows for ``ids`` (shape ``(n, dim)``), creating them.
+
+        Dict traffic is paid once per *unique* ID; the batch result is
+        a vectorized gather through the inverse index, which matches
+        the legacy per-element loop bit for bit (rows are copied into
+        a fresh array either way).
+        """
+        ids = np.asarray(ids).ravel()
+        if ids.size == 0:
+            return np.empty((0, self.dim), dtype=np.float32)
+        unique, inverse = self._unique_first_order(ids)
+        return self._gather_unique(unique)[inverse]
+
     def scatter_update(self, ids: np.ndarray, values: np.ndarray) -> None:
         """Overwrite rows (last write wins for duplicate IDs)."""
         ids = np.asarray(ids).ravel()
@@ -64,24 +93,40 @@ class EmbeddingTable:
         if values.shape != (ids.size, self.dim):
             raise ValueError(
                 f"values shape {values.shape} != ({ids.size}, {self.dim})")
-        for index, raw in enumerate(ids):
-            self._rows[int(raw)] = values[index].copy()
+        if ids.size == 0:
+            return
+        # One dict store per unique ID, in first-occurrence order (the
+        # legacy loop's insertion order), each taking its last write.
+        unique, first = np.unique(ids, return_index=True)
+        _, reversed_first = np.unique(ids[::-1], return_index=True)
+        last = ids.size - 1 - reversed_first
+        order = np.argsort(first, kind="stable")
+        rows = self._rows
+        for position in order.tolist():
+            rows[int(unique[position])] = values[last[position]].copy()
 
     def scatter_add(self, ids: np.ndarray, deltas: np.ndarray) -> None:
-        """Accumulate ``deltas`` into rows (duplicates accumulate)."""
+        """Accumulate ``deltas`` into rows (duplicates accumulate).
+
+        Duplicate IDs fold left-to-right in occurrence order
+        (``np.add.at`` is unbuffered and applies updates in index
+        order), reproducing the legacy loop's float32 rounding exactly.
+        """
         ids = np.asarray(ids).ravel()
         deltas = np.asarray(deltas, dtype=np.float32)
         if deltas.shape != (ids.size, self.dim):
             raise ValueError(
                 f"deltas shape {deltas.shape} != ({ids.size}, {self.dim})")
+        if ids.size == 0:
+            return
+        unique, inverse = self._unique_first_order(ids)
+        accumulated = self._gather_unique(unique)
+        np.add.at(accumulated, inverse, deltas)
         rows = self._rows
-        for index, raw in enumerate(ids):
-            key = int(raw)
-            row = rows.get(key)
-            if row is None:
-                row = self._initial_row(key)
-                rows[key] = row
-            row += deltas[index]
+        for index, raw in enumerate(unique.tolist()):
+            # In-place writeback keeps existing row objects identical
+            # to the legacy ``row += delta`` mutation.
+            rows[int(raw)][...] = accumulated[index]
 
     def memory_bytes(self) -> int:
         """Approximate bytes held by materialized rows."""

@@ -54,9 +54,14 @@ SEQ_MICRO_FACTOR = 2.5
 FUSION_MICRO_FACTOR = 0.6
 
 
-@dataclass
+@dataclass(frozen=True)
 class CostModel:
-    """Tunable constants of the workload-to-hardware projection."""
+    """Tunable constants of the workload-to-hardware projection.
+
+    Frozen (and therefore hashable): cost models ride inside
+    :class:`~repro.core.config.PicassoConfig`, which keys the
+    planner's process-wide plan cache on every run.
+    """
 
     #: Host seconds one framework micro-op occupies the dispatch path
     #: end to end (kernel launch, executor bookkeeping, small host
@@ -149,9 +154,16 @@ def groups_per_field(dataset: DatasetSpec) -> list:
 class WorkloadStats:
     """Caches per-field batch statistics (unique-ID fractions)."""
 
+    #: Shared measurement cache.  The statistic is a pure function of
+    #: ``(vocab, skew, capped batch, seed)`` — sampling is seeded — so
+    #: it is cached process-wide rather than per instance: planners are
+    #: constructed per run, and re-sampling the same distributions
+    #: dominated repeated plan builds.
+    _shared_cache: dict = {}
+
     def __init__(self, seed: int = 7):
         self._seed = seed
-        self._cache: dict = {}
+        self._cache = WorkloadStats._shared_cache
 
     def unique_fraction(self, spec: FieldSpec, batch_ids: int) -> float:
         """Expected unique fraction for a batch of ``batch_ids`` IDs.
@@ -161,11 +173,13 @@ class WorkloadStats:
         feature fields — share one measurement.
         """
         key = (spec.vocab_size, spec.zipf_exponent,
-               min(batch_ids, 200_000))
-        if key not in self._cache:
-            self._cache[key] = expected_unique_fraction(
+               min(batch_ids, 200_000), self._seed)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = expected_unique_fraction(
                 spec, batch_ids, seed=self._seed)
-        return self._cache[key]
+            self._cache[key] = cached
+        return cached
 
     def group_unique_ids(self, group: EmbeddingGroup,
                          batch_size: int) -> float:
@@ -266,6 +280,64 @@ class ExecutionPlan:
             raise ValueError("prefetch_inflight_bytes must be > 0")
         if not self.prefetch_policy:
             raise ValueError("prefetch_policy must be non-empty")
+
+    def signature(self) -> dict:
+        """Canonical JSON-able description of the compiled graph's inputs.
+
+        Everything :class:`IterationGraphBuilder` and the launch-cost
+        projection read from the plan appears here — model and dataset
+        shapes, cluster hardware, packing/interleaving/caching knobs,
+        and the full cost model — so two plans with equal signatures
+        compile to identical graphs.  The compile cache
+        (:func:`repro.core.executor.compile_plan`) keys on the sha256
+        config fingerprint of this dict.
+        """
+        from dataclasses import asdict
+
+        model = self.model
+        dataset = model.dataset
+        return {
+            "model": {
+                "name": model.name,
+                "mlp_layers": list(model.mlp_layers),
+                "num_tasks": model.num_tasks,
+                "modules": [
+                    [m.name, m.kind.value, list(m.fields), m.hidden,
+                     m.repeats] for m in model.modules],
+            },
+            "dataset": {
+                "name": dataset.name,
+                "num_numeric": dataset.num_numeric,
+                "num_instances": dataset.num_instances,
+                "fields": [
+                    [f.name, f.vocab_size, f.embedding_dim, f.seq_length,
+                     f.zipf_exponent] for f in dataset.fields],
+            },
+            "cluster": asdict(self.cluster),
+            "batch_size": self.batch_size,
+            "strategy": self.strategy,
+            "groups": [
+                [g.name, [f.name for f in g.fields], g.shard_fraction,
+                 g.interleave_set, g.excluded] for g in self.groups],
+            "fuse_kernels": self.fuse_kernels,
+            "interleave_sets": self.interleave_sets,
+            "fine_grained_deps": self.fine_grained_deps,
+            "micro_batches": self.micro_batches,
+            "micro_batch_scope": self.micro_batch_scope,
+            "cache_hit_ratio": self.cache_hit_ratio,
+            "io_overlap": self.io_overlap,
+            "ps_bandwidth_factor": self.ps_bandwidth_factor,
+            "ps_serving_rate": self.ps_serving_rate,
+            "net_stack_rate": self.net_stack_rate,
+            "io_compression": self.io_compression,
+            "launch_scale": self.launch_scale,
+            "shard_imbalance": self.shard_imbalance,
+            "prefetch_lookahead": self.prefetch_lookahead,
+            "prefetch_hot_threshold": self.prefetch_hot_threshold,
+            "prefetch_inflight_bytes": self.prefetch_inflight_bytes,
+            "prefetch_policy": self.prefetch_policy,
+            "cost": asdict(self.cost),
+        }
 
     def exchange_factor(self) -> float:
         """Inflation applied to AllToAllv exchange bytes.

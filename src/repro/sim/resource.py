@@ -33,7 +33,8 @@ class ResourceKind(str, Enum):
 COMMUNICATION_KINDS = frozenset({ResourceKind.NET, ResourceKind.NVLINK})
 
 #: Resource classes that count as "memory access" in the breakdowns.
-MEMORY_KINDS = frozenset({ResourceKind.HBM, ResourceKind.DRAM, ResourceKind.PCIE})
+MEMORY_KINDS = frozenset(
+    {ResourceKind.HBM, ResourceKind.DRAM, ResourceKind.PCIE})
 
 #: Resource classes that count as "computation" in the breakdowns.
 COMPUTE_KINDS = frozenset({ResourceKind.GPU_SM, ResourceKind.CPU})
